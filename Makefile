@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction.
+
+PY ?= python
+
+.PHONY: install test bench bench-full examples figures all clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL=1 $(PY) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PY) $$script; done
+
+figures:
+	$(PY) -m repro figure1
+	$(PY) -m repro figure2 --chart
+	$(PY) -m repro figure8 --chart
+	$(PY) -m repro figure7
+	$(PY) -m repro grouping
+
+all: test bench
+
+clean:
+	rm -rf .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,45 @@
+"""Shared benchmark plumbing.
+
+Benchmarks run each figure's sweep once per benchmark round (simulations
+are deterministic; repeating them only measures the host machine), print
+the same rows/series the paper's figure reports, and archive the table
+under ``benchmarks/results/``.
+
+Set ``REPRO_FULL=1`` to run at the paper's scale (1024 tasks, up to
+129 processors); the default quick scale keeps CI fast while preserving
+every qualitative claim that can be observed at small sizes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str, rows=None) -> None:
+    """Print a result table and archive it under benchmarks/results/.
+
+    When dataclass ``rows`` are supplied, a machine-readable CSV is
+    archived alongside the text table.
+    """
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if rows:
+        from repro.metrics.export import to_csv
+
+        (RESULTS_DIR / f"{name}.csv").write_text(to_csv(rows))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,96 @@
+"""Benchmarks: the DESIGN.md ablations.
+
+A1 — optimism-threshold sweep under light and moderate contention;
+A2 — the Figure 6 echo-blocking filter on/off;
+A3 — lock-protocol shoot-outs (consistency systems and raw primitives).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.ablation import (
+    render_shootout,
+    render_threshold,
+    run_echo_blocking_ablation,
+    run_force_modes,
+    run_lock_primitive_shootout,
+    run_lock_protocol_shootout,
+    run_threshold_sweep,
+)
+from repro.metrics.report import format_table
+
+
+def test_bench_ablation_threshold(once):
+    rows = once(
+        run_threshold_sweep,
+        thresholds=(0.0, 0.1, 0.3, 0.5, 1.0),
+        think_times=(15e-6, 50e-6),
+    )
+    emit("ablation_threshold", render_threshold(rows))
+    # At light contention (50us think) a permissive threshold must not
+    # be slower than the fully conservative one.
+    light = [row for row in rows if row.think_time == 50e-6]
+    by_threshold = {row.threshold: row.elapsed for row in light}
+    assert by_threshold[0.3] <= by_threshold[0.0] * 1.02
+
+
+def test_bench_ablation_echo_blocking(once):
+    with_filter, without_filter = once(run_echo_blocking_ablation)
+    table = format_table(
+        ["echo blocking", "correct", "chain intact", "echoes dropped"],
+        [
+            [
+                "on (Figure 6)",
+                with_filter.extra["correct"],
+                with_filter.extra["chain_ok"],
+                with_filter.extra["echoes_dropped"],
+            ],
+            [
+                "off (ablation)",
+                without_filter.extra["correct"],
+                without_filter.extra["chain_ok"],
+                without_filter.extra["echoes_dropped"],
+            ],
+        ],
+        title="Ablation A2: hardware blocking filter",
+    )
+    emit("ablation_echo_blocking", table)
+    assert with_filter.extra["correct"]
+    assert not without_filter.extra["correct"]
+
+
+def test_bench_lock_systems(once):
+    rows = once(run_lock_protocol_shootout)
+    emit("ablation_lock_systems", render_shootout(rows))
+    assert all(row.correct for row in rows)
+
+
+def test_bench_lock_primitives(once):
+    rows = once(run_lock_primitive_shootout)
+    emit("ablation_lock_primitives", render_shootout(rows))
+    assert all(row.correct for row in rows)
+    by_protocol = {row.system: row for row in rows}
+    # The paper's queue-based GWC lock outperforms spinning baselines.
+    assert by_protocol["gwc_queue"].elapsed <= by_protocol["tas"].elapsed
+    assert by_protocol["ttas"].remote_attempts < by_protocol["tas"].remote_attempts
+
+
+def test_bench_force_modes(once):
+    results = once(run_force_modes)
+    table = format_table(
+        ["mode", "elapsed (us)", "rollbacks", "successes"],
+        [
+            [
+                mode,
+                r.elapsed * 1e6,
+                r.counter("opt.rollbacks"),
+                r.counter("opt.successes"),
+            ]
+            for mode, r in results.items()
+        ],
+        title="Ablation: usage-history value (adaptive vs forced modes)",
+    )
+    emit("ablation_force_modes", table)
+    elapsed = {mode: r.elapsed for mode, r in results.items()}
+    best_fixed = min(elapsed["optimistic"], elapsed["regular"])
+    assert elapsed["adaptive"] <= best_fixed * 1.25

@@ -1,0 +1,23 @@
+"""Benchmark: analytic model vs. simulation for the Figure 8 pipeline.
+
+The four-term closed form (local compute + mutex + exposed lock delay +
+token transit) must predict the simulator's network power within a few
+percent at every machine size — validating that the simulation measures
+exactly the quantities the paper's protocol analysis reasons about.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.analytic import render, run_analytic_validation
+
+
+def test_bench_analytic_validation(once):
+    rows = once(run_analytic_validation)
+    emit("analytic_validation", render(rows), rows=rows)
+    for row in rows:
+        assert row.gwc_error < 0.03, (row.n_nodes, row.gwc_error)
+        assert row.optimistic_error < 0.03, (row.n_nodes, row.optimistic_error)
+    # The model also reproduces the optimistic advantage itself.
+    for row in rows:
+        assert row.predicted_optimistic > row.predicted_gwc

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 1 (the three-CPU locking comparison).
+
+Prints the completion/idle table for GWC, optimistic GWC, entry, and
+weak/release consistency, and asserts the figure's ordering claims.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import figure1
+
+
+def test_bench_figure1(once):
+    rows = once(figure1.run_figure1)
+    checks = figure1.expectations(rows)
+    table = figure1.render(rows)
+    summary = "\n".join(str(c) for c in checks)
+    emit("figure1", f"{table}\n\n{summary}", rows=rows)
+    assert all(c.holds for c in checks), summary
+
+
+def test_bench_figure1_longer_sections(once):
+    """The ordering must be robust to the critical-section length."""
+    rows = once(figure1.run_figure1, 12e-6, 25e-6)
+    by_system = {row.system: row.completion_time for row in rows}
+    assert by_system["gwc"] < by_system["entry"] < by_system["release"]
+    assert by_system["gwc_optimistic"] <= by_system["gwc"] * 1.001

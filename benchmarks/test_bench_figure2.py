@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 2 (task-management speedup vs size).
+
+Prints the three series of the figure — the zero-delay maximum, Sesame
+GWC, and entry consistency — and asserts the figure's shape claims.
+At ``REPRO_FULL=1`` this runs the paper's sizes (3..129 CPUs, 1024
+tasks); by default a reduced sweep.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import figure2
+from repro.experiments.common import SCALE_FULL, sweep_scale
+
+
+def test_bench_figure2(once):
+    rows = once(figure2.run_figure2)
+    checks = figure2.expectations(rows)
+    table = figure2.render(rows)
+    summary = "\n".join(str(c) for c in checks)
+    scale = sweep_scale()
+    emit("figure2", f"(scale: {scale})\n{table}\n\n{figure2.chart(rows)}\n\n{summary}", rows=rows)
+    assert all(c.holds for c in checks), summary
+    if scale == SCALE_FULL:
+        gwc_peak = max(row.gwc for row in rows)
+        entry_peak = max(row.entry for row in rows)
+        # Paper: 84.1 vs 22.5 (3.7x).  Shape bound: at least 2x and the
+        # entry peak in the paper's ballpark.
+        assert gwc_peak / entry_peak > 2.0
+        assert 15 < entry_peak < 35
+        assert gwc_peak > 45

@@ -1,0 +1,24 @@
+"""Benchmark: the grouping ablation (per-group roots vs one global root).
+
+Demonstrates the paper's Section 1.2 scaling warning: "combining
+overlapping groups into one global group can prevent scaling in large
+networks by overloading the global root and greatly reducing
+performance" — the same reason a TSO-style centralized write arbitrator
+"is not viable for large distributed memories".
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.grouping import render, run_grouping_sweep
+
+
+def test_bench_grouping(once):
+    rows = once(run_grouping_sweep)
+    emit("grouping", render(rows))
+    for row in rows:
+        assert row.slowdown > 1.5, (
+            f"global root not slower at {row.n_nodes} nodes: {row.slowdown}"
+        )
+    # The largest machine suffers the most total root load.
+    assert rows[-1].merged_elapsed > rows[0].merged_elapsed

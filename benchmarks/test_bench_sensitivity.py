@@ -1,0 +1,39 @@
+"""Benchmark: sensitivity of the optimistic advantage to network costs.
+
+Quantifies the paper's conclusion that the GWC/optimistic advantage
+grows as network delays grow relative to local update times.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.sensitivity import (
+    render,
+    run_bandwidth_sweep,
+    run_hop_latency_sweep,
+)
+
+
+def test_bench_hop_latency_sensitivity(once):
+    rows = once(run_hop_latency_sweep)
+    emit("sensitivity_hop_latency", render(rows))
+    # The optimistic-over-regular ratio grows with per-hop latency while
+    # the lock round trip still fits under the mutex section, then
+    # saturates: speculation can hide at most the section's own length
+    # (the paper sizes M so the round trip "can initially be
+    # overlapped").
+    gains = [row.optimistic_gain for row in rows]
+    assert gains[1] > gains[0], gains
+    assert max(gains) >= gains[0]
+    # And optimistic stays on top throughout.
+    assert all(row.optimistic_power > row.gwc_power > row.entry_power
+               for row in rows)
+
+
+def test_bench_bandwidth_sensitivity(once):
+    rows = once(run_bandwidth_sweep)
+    emit("sensitivity_bandwidth", render(rows))
+    assert all(row.optimistic_power > row.gwc_power for row in rows)
+    # Scarcer bandwidth hurts everyone; ordering is preserved.
+    powers = [row.optimistic_power for row in rows]
+    assert powers == sorted(powers, reverse=True)

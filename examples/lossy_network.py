@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The reliable tree multicast at work: correctness under message loss.
+
+The Sesame interfaces implement "a reliable tree-based multicast
+protocol ... to route, to sequence, and to retransmit all hidden sharing
+messages".  This script injects increasing loss rates into the sequenced
+multicast traffic of an optimistic-locking counter workload and shows
+the recovery machinery (gap NACKs, root retransmissions, trailing
+heartbeats) keeping every replica exact.
+
+Run:  python examples/lossy_network.py
+"""
+
+from __future__ import annotations
+
+from repro import DSMMachine, MutualExclusionChecker, Section, make_system
+from repro.metrics.report import format_table
+
+N_NODES = 8
+ROUNDS = 6
+
+
+def run(loss_rate: float, seed: int = 7):
+    checker = MutualExclusionChecker()
+    machine = DSMMachine(
+        n_nodes=N_NODES, checker=checker, loss_rate=loss_rate, seed=seed
+    )
+    machine.create_group("g")
+    machine.declare_variable("g", "v", 0, mutex_lock="L")
+    machine.declare_lock("g", "L", protects=("v",))
+    system = make_system("gwc_optimistic", machine)
+
+    def body(ctx):
+        value = ctx.read("v")
+        yield from ctx.compute(1e-6)
+        if ctx.aborted:
+            return
+        ctx.write("v", value + 1)
+        ctx.observe_rmw("v", value, value + 1)
+
+    section = Section(lock="L", body=body, shared_reads=("v",), shared_writes=("v",))
+
+    def worker(node):
+        for _ in range(ROUNDS):
+            yield from node.busy(8e-6, kind="useful")
+            yield from system.run_section(node, section)
+
+    for node in machine.nodes:
+        machine.spawn(worker(node), name=f"w{node.id}")
+    machine.run(max_events=5_000_000)
+    machine.sim.check_quiescent()
+    checker.verify_chain("v", 0)
+
+    expected = N_NODES * ROUNDS
+    finals = {n.store.read("v") for n in machine.nodes}
+    assert finals == {expected}, finals
+    return {
+        "loss": loss_rate,
+        "elapsed_us": machine.metrics.elapsed * 1e6,
+        "dropped": machine.loss_model.dropped if machine.loss_model else 0,
+        "nacks": sum(n.iface.nacks_sent for n in machine.nodes),
+        "retransmissions": machine.root_engine("g").retransmissions,
+        "duplicates": sum(n.iface.duplicates_ignored for n in machine.nodes),
+    }
+
+
+def main() -> None:
+    rows = [run(rate) for rate in (0.0, 0.02, 0.08, 0.20)]
+    print(
+        format_table(
+            ["loss rate", "elapsed (us)", "dropped", "NACKs",
+             "retransmissions", "dupes absorbed"],
+            [
+                [r["loss"], r["elapsed_us"], r["dropped"], r["nacks"],
+                 r["retransmissions"], r["duplicates"]]
+                for r in rows
+            ],
+            title=f"Reliable multicast under loss "
+                  f"({N_NODES} CPUs x {ROUNDS} increments, all exact)",
+        )
+    )
+    print()
+    print("every replica converged on the exact count at every loss rate;")
+    print("lost grants and data packets were recovered by NACK/retransmit.")
+
+
+if __name__ == "__main__":
+    main()

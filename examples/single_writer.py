@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Section 2's zero-lock pattern: an ordinary variable as a lock.
+
+"Since writes are ordered, the case for one writer is simple; an
+ordinary variable can lock a data structure awaited by reader(s)."
+
+One node repeatedly publishes a multi-field record guarded only by a
+version variable; reader nodes take consistent snapshots with *zero*
+lock traffic — GWC's write ordering is the entire synchronization
+mechanism.  The script prints the messages used, demonstrating that
+only eagersharing updates flowed.
+
+Run:  python examples/single_writer.py
+"""
+
+from __future__ import annotations
+
+from repro import DSMMachine
+from repro.locks.single_writer import SingleWriterPublisher, SingleWriterReader
+
+ROUNDS = 5
+N_NODES = 6
+
+
+def main() -> None:
+    machine = DSMMachine(n_nodes=N_NODES)
+    machine.create_group("g", root=0)
+    machine.declare_variable("g", "version", 0)
+    machine.declare_variable("g", "price", 0.0)
+    machine.declare_variable("g", "quantity", 0)
+
+    publisher = SingleWriterPublisher("version", machine.nodes[1])
+    reader = SingleWriterReader("version", ("price", "quantity"))
+    snapshots: list[tuple[int, int, dict]] = []
+
+    def writer_proc():
+        for round_ in range(1, ROUNDS + 1):
+            publisher.begin_update()
+            publisher.write("price", round_ * 1.5)
+            yield 2e-6  # a slow, multi-field update in progress
+            publisher.write("quantity", round_ * 100)
+            publisher.publish()
+            yield 10e-6
+
+    def reader_proc(node):
+        for version in range(1, ROUNDS + 1):
+            got_version, values = yield from reader.snapshot(
+                node, min_version=version
+            )
+            snapshots.append((node.id, got_version, values))
+
+    machine.spawn(writer_proc(), name="writer")
+    for node in machine.nodes[2:4]:
+        machine.spawn(reader_proc(node), name=f"reader-{node.id}")
+    machine.run()
+
+    print(f"published {ROUNDS} rounds from node 1; "
+          f"{len(snapshots)} snapshots taken by nodes 2 and 3")
+    torn = 0
+    for node_id, version, values in snapshots:
+        consistent = values["quantity"] == version * 100 and values[
+            "price"
+        ] == version * 1.5
+        torn += not consistent
+        print(f"  node {node_id} saw v{version}: {values} "
+              f"{'(consistent)' if consistent else '(TORN!)'}")
+    assert torn == 0, "a snapshot mixed fields from different rounds"
+
+    kinds = dict(machine.network.stats.by_kind)
+    print()
+    print(f"message kinds on the wire: {kinds}")
+    assert set(kinds) <= {"gwc.update", "gwc.apply"}, kinds
+    print("no lock protocol messages at all: GWC write ordering did the work")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""A complete DSM application: distributed Jacobi relaxation.
+
+Shows the library as an application platform rather than a lock
+benchmark: N processors each own a block of a vector and relax it
+iteratively.  Halo exchange is pure eagersharing (single-writer
+boundary variables with a version stamp — §2's "ordinary variable"
+pattern), iterations separated by a sense-reversing barrier built on
+root-arbitrated fetch-and-add.
+
+The distributed result is compared element-for-element against a
+sequential reference.
+
+Run:  python examples/stencil_app.py [n_nodes] [cells_per_node] [iters]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.metrics.report import format_table
+from repro.workloads.stencil import StencilConfig, run_stencil
+
+
+def main() -> None:
+    n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    cells = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    iters = int(sys.argv[3]) if len(sys.argv) > 3 else 12
+
+    config = StencilConfig(
+        n_nodes=n_nodes, cells_per_node=cells, iterations=iters
+    )
+    result = run_stencil(config)
+
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ["processors", n_nodes],
+                ["cells total", n_nodes * cells],
+                ["iterations", iters],
+                ["simulated time (us)", result.elapsed * 1e6],
+                ["speedup", result.speedup],
+                ["barrier arrivals", result.counter("barrier.arrivals")],
+                ["lock requests", result.counter("lock.requests")],
+                ["max error vs sequential", result.extra["max_error"]],
+            ],
+            title="Distributed Jacobi relaxation on eagersharing DSM",
+        )
+    )
+    assert result.extra["correct"]
+    print()
+    print("halo exchange used zero locks and zero demand fetches: the")
+    print("owner writes its boundary, eagersharing delivers it, and GWC")
+    print("ordering makes the version stamp imply the data is valid.")
+
+
+if __name__ == "__main__":
+    main()

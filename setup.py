@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml.  This file exists so the package
+can be installed in environments without the ``wheel`` package (where
+pip's PEP-517 editable path fails): ``python setup.py develop`` or
+``pip install -e . --no-build-isolation`` both work through it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — Optimistic Synchronization in Distributed Shared Memory.
+
+A faithful, simulation-based reproduction of Hermannsson & Wittie,
+"Optimistic Synchronization in Distributed Shared Memory" (ICDCS 1994):
+group write consistency with eagersharing, queue-based GWC locks, the
+optimistic mutual-exclusion protocol with rollback, and the entry- and
+weak/release-consistency comparators the paper evaluates against.
+
+Quickstart::
+
+    from repro import DSMMachine, Section, make_system
+
+    machine = DSMMachine(n_nodes=4)
+    machine.create_group("g")
+    machine.declare_variable("g", "counter", 0, mutex_lock="L")
+    machine.declare_lock("g", "L", protects=("counter",))
+    system = make_system("gwc_optimistic", machine)
+
+    def increment(ctx):
+        value = ctx.read("counter")
+        yield from ctx.compute(1e-6)
+        if ctx.aborted:
+            return
+        ctx.write("counter", value + 1)
+
+    section = Section(lock="L", body=increment,
+                      shared_reads=("counter",), shared_writes=("counter",))
+
+    def worker(node):
+        yield from system.run_section(node, section)
+
+    for node in machine.nodes:
+        machine.spawn(worker(node), name=f"worker-{node.id}")
+    machine.run()
+    assert machine.nodes[0].store.read("counter") == 4
+"""
+
+from repro.consistency.base import DsmSystem, make_system, system_names
+from repro.consistency.checker import MutualExclusionChecker
+from repro.core.machine import DSMMachine
+from repro.core.node import NodeHandle
+from repro.core.section import Section, SectionContext, SectionOutcome
+from repro.errors import ReproError
+from repro.locks.history import UsageHistory
+from repro.memory.varspace import FREE_VALUE, grant_value, request_value
+from repro.params import PAPER_PARAMS, MachineParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DSMMachine",
+    "DsmSystem",
+    "FREE_VALUE",
+    "MachineParams",
+    "MutualExclusionChecker",
+    "NodeHandle",
+    "PAPER_PARAMS",
+    "ReproError",
+    "Section",
+    "SectionContext",
+    "SectionOutcome",
+    "UsageHistory",
+    "__version__",
+    "grant_value",
+    "make_system",
+    "request_value",
+    "system_names",
+]

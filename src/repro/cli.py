@@ -1,0 +1,276 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Usage::
+
+    python -m repro reproduce [--full]   # every artefact + pass/fail digest
+    python -m repro figure1 [--update-us F] [--delay-us F]
+    python -m repro figure2 [--full] [--sizes 3,5,9] [--tasks N] [--chart]
+    python -m repro figure8 [--full] [--sizes 2,4,8] [--data N] [--chart]
+    python -m repro figure7
+    python -m repro ablations
+    python -m repro grouping [--sizes 8,16,32]
+    python -m repro systems          # list registered consistency systems
+
+Every command prints the same rows/series the paper's figure reports,
+followed by the qualitative expectation checklist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.consistency.base import system_names
+from repro.experiments import figure1, figure2, figure8
+from repro.experiments.ablation import (
+    render_shootout,
+    render_threshold,
+    run_echo_blocking_ablation,
+    run_lock_primitive_shootout,
+    run_lock_protocol_shootout,
+    run_threshold_sweep,
+)
+from repro.metrics.report import format_table
+
+
+def _parse_sizes(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    rows = figure1.run_figure1(
+        update_time=args.update_us * 1e-6, cpu2_delay=args.delay_us * 1e-6
+    )
+    print(figure1.render(rows))
+    print()
+    checks = figure1.expectations(rows)
+    for check in checks:
+        print(check)
+    return 0 if all(c.holds for c in checks) else 1
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    if args.sizes:
+        sizes = _parse_sizes(args.sizes)
+    elif args.full:
+        sizes = (3, 5, 9, 17, 33, 65, 129)
+    else:
+        sizes = (3, 5, 9, 17)
+    tasks = args.tasks or (1024 if args.full else 128)
+    rows = figure2.run_figure2(sizes=sizes, total_tasks=tasks)
+    print(figure2.render(rows))
+    if args.chart:
+        print()
+        print(figure2.chart(rows))
+    print()
+    checks = figure2.expectations(rows)
+    for check in checks:
+        print(check)
+    return 0 if all(c.holds for c in checks) else 1
+
+
+def _cmd_figure8(args: argparse.Namespace) -> int:
+    if args.sizes:
+        sizes = _parse_sizes(args.sizes)
+    elif args.full:
+        sizes = (2, 4, 8, 16, 32, 64, 128)
+    else:
+        sizes = (2, 4, 8, 16)
+    data = args.data or (1024 if args.full else 128)
+    rows = figure8.run_figure8(sizes=sizes, data_size=data)
+    print(figure8.render(rows))
+    if args.chart:
+        print()
+        print(figure8.chart(rows))
+    print()
+    checks = figure8.expectations(rows)
+    for check in checks:
+        print(check)
+    return 0 if all(c.holds for c in checks) else 1
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    from repro.workloads.scenarios import Figure7Config, run_figure7
+
+    result = run_figure7(Figure7Config())
+    extra = result.extra
+    print(
+        format_table(
+            ["event", "value"],
+            [
+                ["requester rolled back", extra["requester_rolled_back"]],
+                ["stale echoes dropped (Fig. 6)", extra["echoes_dropped"]],
+                ["speculative root discards", extra["root_discards"]],
+                ["all nodes converged", extra["converged"]],
+            ],
+            title="Figure 7: the most complex rollback interaction",
+        )
+    )
+    return 0 if extra["converged"] and extra["requester_rolled_back"] else 1
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    print(render_threshold(run_threshold_sweep(think_times=(15e-6, 50e-6))))
+    print()
+    print(render_shootout(run_lock_protocol_shootout()))
+    print()
+    print(render_shootout(run_lock_primitive_shootout()))
+    print()
+    with_filter, without_filter = run_echo_blocking_ablation()
+    print(
+        format_table(
+            ["echo blocking", "correct", "chain intact"],
+            [
+                ["on", with_filter.extra["correct"], with_filter.extra["chain_ok"]],
+                [
+                    "off",
+                    without_filter.extra["correct"],
+                    without_filter.extra["chain_ok"],
+                ],
+            ],
+            title="Ablation A2: hardware blocking filter",
+        )
+    )
+    return 0
+
+
+def _cmd_grouping(args: argparse.Namespace) -> int:
+    from repro.experiments.grouping import render, run_grouping_sweep
+
+    sizes = _parse_sizes(args.sizes) if args.sizes else (8, 16, 32)
+    rows = run_grouping_sweep(sizes=sizes)
+    print(render(rows))
+    return 0 if all(row.slowdown > 1.0 for row in rows) else 1
+
+
+def _cmd_systems(args: argparse.Namespace) -> int:
+    for name in system_names():
+        print(name)
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    """Regenerate every paper artefact in one go and print a digest."""
+    failures = 0
+    banner = "=" * 68
+
+    print(banner)
+    print("FIGURE 1 — locking comparison (3 CPUs)")
+    print(banner)
+    rows1 = figure1.run_figure1()
+    print(figure1.render(rows1))
+    checks = figure1.expectations(rows1)
+    failures += sum(not c.holds for c in checks)
+    for check in checks:
+        print(check)
+
+    print()
+    print(banner)
+    print("FIGURE 2 — task-management speedup")
+    print(banner)
+    sizes2 = (3, 5, 9, 17, 33, 65, 129) if args.full else (3, 5, 9, 17)
+    tasks = 1024 if args.full else 128
+    rows2 = figure2.run_figure2(sizes=sizes2, total_tasks=tasks)
+    print(figure2.render(rows2))
+    print(figure2.chart(rows2))
+    checks = figure2.expectations(rows2)
+    failures += sum(not c.holds for c in checks)
+    for check in checks:
+        print(check)
+
+    print()
+    print(banner)
+    print("FIGURE 8 — mutex methods on the pipeline")
+    print(banner)
+    sizes8 = (2, 4, 8, 16, 32, 64, 128) if args.full else (2, 4, 8, 16)
+    data = 1024 if args.full else 128
+    rows8 = figure8.run_figure8(sizes=sizes8, data_size=data)
+    print(figure8.render(rows8))
+    print(figure8.chart(rows8))
+    checks = figure8.expectations(rows8)
+    failures += sum(not c.holds for c in checks)
+    for check in checks:
+        print(check)
+
+    print()
+    print(banner)
+    print("FIGURE 7 — rollback interaction")
+    print(banner)
+    failures += _cmd_figure7(args)
+
+    print()
+    print(banner)
+    print("ABLATIONS")
+    print(banner)
+    _cmd_ablations(args)
+
+    print()
+    if failures:
+        print(f"REPRODUCTION DIGEST: {failures} expectation(s) FAILED")
+        return 1
+    print("REPRODUCTION DIGEST: every paper expectation held")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Optimistic Synchronization in Distributed Shared "
+            "Memory' (Hermannsson & Wittie, ICDCS 1994)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("figure1", help="3-CPU locking comparison")
+    p1.add_argument("--update-us", type=float, default=4.0)
+    p1.add_argument("--delay-us", type=float, default=10.0)
+    p1.set_defaults(fn=_cmd_figure1)
+
+    p2 = sub.add_parser("figure2", help="task-management speedup sweep")
+    p2.add_argument("--full", action="store_true", help="paper scale")
+    p2.add_argument("--sizes", type=str, default="")
+    p2.add_argument("--tasks", type=int, default=0)
+    p2.add_argument("--chart", action="store_true", help="draw an ASCII chart")
+    p2.set_defaults(fn=_cmd_figure2)
+
+    p8 = sub.add_parser("figure8", help="mutex methods on the pipeline")
+    p8.add_argument("--full", action="store_true", help="paper scale")
+    p8.add_argument("--sizes", type=str, default="")
+    p8.add_argument("--data", type=int, default=0)
+    p8.add_argument("--chart", action="store_true", help="draw an ASCII chart")
+    p8.set_defaults(fn=_cmd_figure8)
+
+    p7 = sub.add_parser("figure7", help="rollback interaction scenario")
+    p7.set_defaults(fn=_cmd_figure7)
+
+    pa = sub.add_parser("ablations", help="threshold / filter / protocol ablations")
+    pa.set_defaults(fn=_cmd_ablations)
+
+    pg = sub.add_parser(
+        "grouping", help="per-group roots vs one global root (section 1.2)"
+    )
+    pg.add_argument("--sizes", type=str, default="")
+    pg.set_defaults(fn=_cmd_grouping)
+
+    ps = sub.add_parser("systems", help="list consistency systems")
+    ps.set_defaults(fn=_cmd_systems)
+
+    pr = sub.add_parser(
+        "reproduce", help="regenerate every paper artefact and print a digest"
+    )
+    pr.add_argument("--full", action="store_true", help="paper scale")
+    pr.set_defaults(fn=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

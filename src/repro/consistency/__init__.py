@@ -1,0 +1,28 @@
+"""Consistency models.
+
+Workloads are written once against the abstract
+:class:`~repro.consistency.base.DsmSystem` API and run unchanged on:
+
+* :class:`~repro.consistency.gwc.GwcSystem` — group write consistency
+  with eagersharing (the paper's Sesame model), regular locks;
+* :class:`~repro.consistency.gwc.OptimisticGwcSystem` — same substrate
+  with the paper's optimistic mutual exclusion for critical sections;
+* :class:`~repro.consistency.entry.EntrySystem` — the entry-consistency
+  comparator (guarded data ships with lock grants, demand fetch
+  elsewhere);
+* :class:`~repro.consistency.release.ReleaseSystem` — the weak/release
+  consistency comparator (eager updates, release blocks until updates
+  reach all nodes, centralized lock manager).
+
+:mod:`repro.consistency.checker` provides the mutual-exclusion /
+serializability oracle used by tests.
+"""
+
+from repro.consistency.base import DsmSystem, make_system
+from repro.consistency.checker import MutualExclusionChecker
+
+__all__ = [
+    "DsmSystem",
+    "MutualExclusionChecker",
+    "make_system",
+]

@@ -1,0 +1,96 @@
+"""Correctness oracles for mutual exclusion.
+
+:class:`MutualExclusionChecker` records every critical-section entry and
+exit (with the owning lock, node, and simulated time) and verifies:
+
+1. **Mutual exclusion** — at most one node is inside a section guarded
+   by the same lock at any instant;
+2. **Serializability of guarded counters** — for sections that report a
+   read-modify-write of a counter, the sequence of observed values is a
+   permutation-free chain (each section reads the value the previous one
+   wrote), which fails loudly if a lost update slips through — e.g. when
+   the echo-blocking ablation corrupts rollback state.
+
+The checker is an oracle, not part of the protocol: production runs
+leave ``machine.checker`` unset and pay nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConsistencyError
+
+
+@dataclass(frozen=True, slots=True)
+class SectionSpan:
+    """One completed critical-section occupancy."""
+
+    lock: str
+    node: int
+    enter: float
+    exit: float
+
+
+class MutualExclusionChecker:
+    """Online checker for lock-protected critical sections."""
+
+    def __init__(self) -> None:
+        self._inside: dict[str, tuple[int, float]] = {}
+        self.spans: list[SectionSpan] = []
+        #: Per-counter chains: name -> list of (read_value, written_value).
+        self.chains: dict[str, list[tuple[object, object]]] = {}
+
+    def enter(self, lock: str, node: int, time: float) -> None:
+        current = self._inside.get(lock)
+        if current is not None:
+            other, since = current
+            raise ConsistencyError(
+                f"mutual exclusion violated on {lock!r}: node {node} entered "
+                f"at t={time} while node {other} has been inside since "
+                f"t={since}"
+            )
+        self._inside[lock] = (node, time)
+
+    def exit(self, lock: str, node: int, time: float) -> None:
+        current = self._inside.get(lock)
+        if current is None or current[0] != node:
+            raise ConsistencyError(
+                f"node {node} exited {lock!r} at t={time} without a "
+                f"matching enter (inside: {current})"
+            )
+        del self._inside[lock]
+        self.spans.append(
+            SectionSpan(lock=lock, node=node, enter=current[1], exit=time)
+        )
+
+    def observe_rmw(self, counter: str, read_value: object, written_value: object) -> None:
+        """Record one read-modify-write on a guarded counter."""
+        self.chains.setdefault(counter, []).append((read_value, written_value))
+
+    def verify_chain(self, counter: str, initial: object) -> None:
+        """Check that RMW observations form an unbroken chain.
+
+        Every section must have read exactly the value the previous
+        section wrote; a gap means a lost or phantom update.
+        """
+        expected = initial
+        for i, (read_value, written_value) in enumerate(
+            self.chains.get(counter, [])
+        ):
+            if read_value != expected:
+                raise ConsistencyError(
+                    f"counter {counter!r}: update #{i} read {read_value!r} "
+                    f"but the previous write was {expected!r} (lost update)"
+                )
+            expected = written_value
+
+    def verify_no_occupancy(self) -> None:
+        """Check that every entered section has exited."""
+        if self._inside:
+            raise ConsistencyError(
+                f"sections still occupied at end of run: {self._inside}"
+            )
+
+    def occupancy_of(self, lock: str) -> list[SectionSpan]:
+        return [s for s in self.spans if s.lock == lock]

@@ -1,0 +1,345 @@
+"""Group write consistency with eagersharing (the Sesame model).
+
+Root side — :class:`GroupRootEngine`: every shared write in a group
+flows to the group root, which (1) runs the lock manager for writes to
+lock variables, (2) **discards** updates to mutex-protected data from
+nodes that do not currently hold the protecting lock (the guarantee
+optimistic execution relies on), and (3) stamps everything else with the
+group-global sequence number and multicasts it down the spanning tree.
+
+Node side — :class:`GwcSystem`: reads are local (eagersharing already
+delivered remote changes), writes are non-blocking ("the Sesame
+interface copies local data changes without slowing calculations"),
+waiting for a value change is a sleep on the local store's change
+signal, and locks are the Section 2 queue-based GWC locks.
+
+:class:`OptimisticGwcSystem` is the same substrate with critical
+sections executed by the Section 4 optimistic protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.consistency.base import DsmSystem, register_system
+from repro.core.node import NodeHandle
+from repro.core.section import Section, SectionOutcome
+from repro.errors import MemoryError_
+from repro.locks.gwc_lock import GwcLockClient, GwcLockManager
+from repro.memory.interface import ApplyPacket, UpdateRequest
+from repro.memory.sharing_group import SharingGroup
+from repro.memory.varspace import LockDecl
+from repro.net.message import Message
+from repro.sim.kernel import Simulator
+
+
+class GroupRootEngine:
+    """Sequencing arbiter + lock manager host for one sharing group."""
+
+    def __init__(self, sim: Simulator, group: SharingGroup, packet_bytes: int) -> None:
+        self.sim = sim
+        self.group = group
+        self.packet_bytes = packet_bytes
+        self.lock_managers: dict[str, GwcLockManager] = {}
+        #: Speculative mutex-data updates discarded at the root.
+        self.discarded = 0
+        #: Updates sequenced and multicast.
+        self.sequenced = 0
+        #: The root's authoritative value of every variable, updated at
+        #: sequencing time.  Remote atomics (locks/rmw.py) serialize here.
+        self._authoritative: dict[str, Any] = {}
+        #: Reliable-multicast state ("...and to retransmit all hidden
+        #: sharing messages"): sequenced-packet history for NACK service
+        #: plus a trailing heartbeat that exposes tail loss.
+        self._history: dict[int, ApplyPacket] = {}
+        self._heartbeat_interval: float | None = None
+        self._heartbeat_event = None
+        self.retransmissions = 0
+        #: Members that dynamically disabled eagersharing, per variable.
+        self._excluded: dict[str, set[int]] = {}
+        self.suppressed_sends = 0
+
+    def enable_reliability(self, heartbeat_interval: float) -> None:
+        """Keep history for retransmission and emit trailing heartbeats."""
+        self._heartbeat_interval = heartbeat_interval
+
+    def on_nack(self, member: int, from_seq: int) -> None:
+        """Resend every sequenced packet from ``from_seq`` to ``member``."""
+        if self._heartbeat_interval is None:
+            raise MemoryError_(
+                f"group {self.group.name!r} got a NACK but reliability is off"
+            )
+        import dataclasses
+
+        for seq in range(from_seq, self.sequenced):
+            packet = dataclasses.replace(self._history[seq], retransmit=True)
+            self.retransmissions += 1
+            self.group.tree.network.send(
+                Message(
+                    src=self.group.root,
+                    dst=member,
+                    kind="gwc.apply",
+                    payload=packet,
+                    size_bytes=self.group.wire_bytes(packet.var, self.packet_bytes),
+                )
+            )
+
+    def _refresh_heartbeat(self) -> None:
+        if self._heartbeat_interval is None:
+            return
+        if self._heartbeat_event is not None:
+            self.sim.cancel(self._heartbeat_event)
+        self._heartbeat_event = self.sim.schedule(
+            self._heartbeat_interval, self._emit_heartbeat
+        )
+
+    def _emit_heartbeat(self) -> None:
+        self._heartbeat_event = None
+        latest = self.sequenced - 1
+        if latest < 0:
+            return
+        for member in self.group.members:
+            if member == self.group.root:
+                continue
+            self.group.tree.network.send(
+                Message(
+                    src=self.group.root,
+                    dst=member,
+                    kind="gwc.heartbeat",
+                    payload=(self.group.name, latest),
+                    size_bytes=self.packet_bytes,
+                )
+            )
+
+    def authoritative_read(self, var: str) -> Any:
+        """The value of ``var`` in global sequence order, as of now."""
+        if var not in self._authoritative:
+            for name, value in self.group.initial_image().items():
+                self._authoritative.setdefault(name, value)
+        return self._authoritative[var]
+
+    def sequence_plain_write(self, var: str, value: Any, origin: int) -> None:
+        """Sequence a write produced at the root itself (remote atomics)."""
+        decl = self.group.variables.get(var)
+        self._sequence_and_multicast(
+            var=var,
+            value=value,
+            origin=origin,
+            is_mutex_data=decl.is_mutex_data if decl is not None else False,
+            is_lock=self.group.is_lock(var),
+        )
+
+    def on_unsubscribe(self, var: str, member: int) -> None:
+        """Dynamic eagersharing disable: stop shipping values to member."""
+        self._excluded.setdefault(var, set()).add(member)
+
+    def on_resubscribe(self, var: str, member: int) -> None:
+        """Re-enable eagersharing; refresh everyone with a sequenced write.
+
+        The refresh is an ordinary sequenced write of the current
+        authoritative value, so the resubscriber (and anyone else) ends
+        up with a copy that is correct in global order.
+        """
+        excluded = self._excluded.get(var)
+        if excluded is not None:
+            excluded.discard(member)
+        self.sequence_plain_write(var, self.authoritative_read(var), self.group.root)
+
+    def add_lock(self, decl: LockDecl) -> GwcLockManager:
+        manager = GwcLockManager(decl)
+        self.lock_managers[decl.name] = manager
+        return manager
+
+    def manager(self, lock: str) -> GwcLockManager:
+        return self.lock_managers[lock]
+
+    def on_update(self, request: UpdateRequest) -> None:
+        """Handle one origin->root update packet."""
+        group = self.group
+        if group.is_lock(request.var):
+            manager = self.lock_managers[request.var]
+            for value in manager.on_write(request.origin, request.value):
+                self._sequence_and_multicast(
+                    var=request.var,
+                    value=value,
+                    origin=group.root,
+                    is_mutex_data=False,
+                    is_lock=True,
+                )
+            return
+
+        decl = group.var_decl(request.var)
+        if decl.is_mutex_data:
+            manager = self.lock_managers[decl.mutex_lock]
+            if not manager.holds(request.origin):
+                self.discarded += 1
+                if self.sim.tracer.enabled:
+                    self.sim.tracer.record(
+                        self.sim.now,
+                        "root.discarded",
+                        group=group.name,
+                        var=request.var,
+                        value=request.value,
+                        origin=request.origin,
+                        holder=manager.holder,
+                    )
+                return
+        self._sequence_and_multicast(
+            var=request.var,
+            value=request.value,
+            origin=request.origin,
+            is_mutex_data=decl.is_mutex_data,
+            is_lock=False,
+        )
+
+    def _sequence_and_multicast(
+        self,
+        var: str,
+        value: Any,
+        origin: int,
+        is_mutex_data: bool,
+        is_lock: bool,
+    ) -> None:
+        self._authoritative[var] = value
+        seq = self.group.tree.next_sequence()
+        packet = ApplyPacket(
+            group=self.group.name,
+            seq=seq,
+            var=var,
+            value=value,
+            origin=origin,
+            is_mutex_data=is_mutex_data,
+            is_lock=is_lock,
+        )
+        self.sequenced += 1
+        if self.sim.tracer.enabled:
+            self.sim.tracer.record(
+                self.sim.now,
+                "root.sequenced",
+                group=self.group.name,
+                seq=seq,
+                var=var,
+                value=value,
+                origin=origin,
+            )
+        if self._heartbeat_interval is not None:
+            self._history[seq] = packet
+        excluded = self._excluded.get(var)
+        if not excluded:
+            self.group.tree.multicast(
+                "gwc.apply", packet, self.group.wire_bytes(var, self.packet_bytes)
+            )
+        else:
+            import dataclasses
+
+            from repro.memory.interface import SUPPRESSED
+
+            full_size = self.group.wire_bytes(var, self.packet_bytes)
+            header = dataclasses.replace(packet, value=SUPPRESSED)
+            for member in self.group.members:
+                suppress = member in excluded
+                self.suppressed_sends += int(suppress)
+                self.group.tree.network.send(
+                    Message(
+                        src=self.group.root,
+                        dst=member,
+                        kind="gwc.apply",
+                        payload=header if suppress else packet,
+                        size_bytes=self.packet_bytes if suppress else full_size,
+                    )
+                )
+        self._refresh_heartbeat()
+
+
+class GwcSystem(DsmSystem):
+    """Group write consistency with the regular Section 2 locks."""
+
+    name = "gwc"
+
+    def __init__(self, machine: "DSMMachine") -> None:  # noqa: F821
+        super().__init__(machine)
+        self._clients: dict[str, GwcLockClient] = {}
+
+    def _client(self, lock: str) -> GwcLockClient:
+        client = self._clients.get(lock)
+        if client is None:
+            client = GwcLockClient(self.machine.lock_decl(lock))
+            self._clients[lock] = client
+        return client
+
+    # -- data ----------------------------------------------------------
+
+    def read(self, node: NodeHandle, var: str) -> Generator[Any, Any, Any]:
+        return node.store.read(var)
+        yield  # pragma: no cover - marks this function as a generator
+
+    def write(
+        self, node: NodeHandle, var: str, value: Any
+    ) -> Generator[Any, Any, None]:
+        node.iface.share_write(var, value)
+        return
+        yield  # pragma: no cover - marks this function as a generator
+
+    def wait_value(
+        self,
+        node: NodeHandle,
+        var: str,
+        predicate: Callable[[Any], bool],
+    ) -> Generator[Any, Any, Any]:
+        return (yield from node.store.wait_until(var, predicate))
+
+    def section_write(self, node: NodeHandle, var: str, value: Any) -> None:
+        node.iface.share_write(var, value)
+
+    # -- locks ----------------------------------------------------------
+
+    def acquire(self, node: NodeHandle, lock: str) -> Generator[Any, Any, None]:
+        yield from self._client(lock).acquire(node)
+
+    def release(self, node: NodeHandle, lock: str) -> Generator[Any, Any, None]:
+        yield from self._client(lock).release(node)
+
+
+class OptimisticGwcSystem(GwcSystem):
+    """GWC with Section 4 optimistic mutual exclusion for sections.
+
+    Standalone :meth:`acquire`/:meth:`release` remain the regular
+    blocking protocol; :meth:`run_section` speculates.
+    """
+
+    name = "gwc_optimistic"
+
+    def __init__(
+        self,
+        machine: "DSMMachine",  # noqa: F821
+        decay: float | None = None,
+        threshold: float | None = None,
+        force: str | None = None,
+        wait_mode: str | None = None,
+        swap_overhead: float | None = None,
+    ) -> None:
+        super().__init__(machine)
+        from repro.locks.history import DEFAULT_DECAY, DEFAULT_THRESHOLD
+        from repro.locks.optimistic import (
+            WAIT_SPIN,
+            OptimisticConfig,
+            OptimisticMutexRunner,
+        )
+
+        self.config = OptimisticConfig(
+            decay=decay if decay is not None else DEFAULT_DECAY,
+            threshold=threshold if threshold is not None else DEFAULT_THRESHOLD,
+            force=force,
+            wait_mode=wait_mode if wait_mode is not None else WAIT_SPIN,
+            swap_overhead=swap_overhead if swap_overhead is not None else 1e-6,
+        )
+        self.runner = OptimisticMutexRunner(self, self.config)
+
+    def run_section(
+        self, node: NodeHandle, section: Section
+    ) -> Generator[Any, Any, SectionOutcome]:
+        return (yield from self.runner.run_section(node, section))
+
+
+register_system("gwc", GwcSystem)
+register_system("gwc_optimistic", OptimisticGwcSystem)

@@ -1,0 +1,222 @@
+"""Weak / release consistency comparator.
+
+Behaviours the paper's comparison depends on (Section 3, Figure 1(c)):
+
+* Data uses **cache-update sharing**: a write is applied locally and the
+  new value is multicast directly to every other group member (no root,
+  no global sequencing).  Receivers acknowledge.
+* A lock **release is blocked until the updates reach all nodes**: the
+  releasing processor first fences on all outstanding update acks.
+* Locks use a **centralized manager** and "may need three one-way
+  messages": request -> manager, forwarded -> current owner, and the
+  owner eventually grants directly to the requester.
+
+"Weak and release consistency behave the same" in the paper's scenarios
+(each processor locks, accesses, and releases); both names map to this
+system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.consistency.base import DsmSystem, register_system
+from repro.core.node import NodeHandle
+from repro.errors import LockStateError
+from repro.net.message import Message
+from repro.sim.waiters import Future, Signal
+
+
+@dataclass(slots=True)
+class _RcLockState:
+    """Manager-side view of one lock."""
+
+    manager: int
+    holder: int | None = None
+    #: Waiters queued at the current holder (handed off on release).
+    queue: list[int] = field(default_factory=list)
+
+
+class ReleaseSystem(DsmSystem):
+    """Release (and weak) consistency with a centralized lock manager."""
+
+    name = "release"
+
+    def __init__(self, machine: "DSMMachine") -> None:  # noqa: F821
+        super().__init__(machine)
+        self._locks: dict[str, _RcLockState] = {}
+        self._grant_waits: dict[tuple[str, int], Future] = {}
+        #: Outstanding unacknowledged updates per writer node.
+        self._outstanding: dict[int, int] = {}
+        #: Fired whenever a writer's outstanding count drops to zero.
+        self._fences: dict[int, Signal] = {}
+        machine.register_kind_handler("rc", self._on_message)
+        #: Diagnostics.
+        self.updates_sent = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _lock_state(self, lock: str) -> _RcLockState:
+        state = self._locks.get(lock)
+        if state is None:
+            group = self.machine.group_of_lock(lock)
+            state = _RcLockState(manager=group.root)
+            self._locks[lock] = state
+        return state
+
+    def _fence_signal(self, node_id: int) -> Signal:
+        signal = self._fences.get(node_id)
+        if signal is None:
+            signal = Signal(name=f"rc.fence.{node_id}")
+            self._fences[node_id] = signal
+        return signal
+
+    def _send(self, src: int, dst: int, kind: str, payload: Any) -> None:
+        self.machine.network.send(
+            Message(
+                src=src,
+                dst=dst,
+                kind=kind,
+                payload=payload,
+                size_bytes=self.machine.params.packet_bytes,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Data operations
+    # ------------------------------------------------------------------
+
+    def _propagate(self, node: NodeHandle, var: str, value: Any) -> None:
+        """Cache-update multicast with acknowledgements."""
+        node.store.write(var, value)
+        group = node.iface.group_of(var)
+        size = group.wire_bytes(var, self.machine.params.packet_bytes)
+        for member in group.members:
+            if member == node.id:
+                continue
+            self._outstanding[node.id] = self._outstanding.get(node.id, 0) + 1
+            self.updates_sent += 1
+            self.machine.network.send(
+                Message(
+                    src=node.id,
+                    dst=member,
+                    kind="rc.update",
+                    payload=(var, value, node.id),
+                    size_bytes=size,
+                )
+            )
+
+    def read(self, node: NodeHandle, var: str) -> Generator[Any, Any, Any]:
+        return node.store.read(var)
+        yield  # pragma: no cover - marks this function as a generator
+
+    def write(
+        self, node: NodeHandle, var: str, value: Any
+    ) -> Generator[Any, Any, None]:
+        self._propagate(node, var, value)
+        return
+        yield  # pragma: no cover - marks this function as a generator
+
+    def wait_value(
+        self,
+        node: NodeHandle,
+        var: str,
+        predicate: Callable[[Any], bool],
+    ) -> Generator[Any, Any, Any]:
+        return (yield from node.store.wait_until(var, predicate))
+
+    def section_write(self, node: NodeHandle, var: str, value: Any) -> None:
+        self._propagate(node, var, value)
+
+    # ------------------------------------------------------------------
+    # Lock protocol
+    # ------------------------------------------------------------------
+
+    def acquire(self, node: NodeHandle, lock: str) -> Generator[Any, Any, None]:
+        state = self._lock_state(lock)
+        node.metrics.count("lock.requests")
+        future = Future(name=f"rc.grant.{lock}.{node.id}")
+        self._grant_waits[(lock, node.id)] = future
+        self._send(node.id, state.manager, "rc.lock_req", payload=(lock, node.id))
+        yield future
+        node.metrics.count("lock.acquired")
+
+    def release(self, node: NodeHandle, lock: str) -> Generator[Any, Any, None]:
+        """Fence on update acks, then hand the lock off."""
+        while self._outstanding.get(node.id, 0) > 0:
+            yield self._fence_signal(node.id)
+        node.metrics.count("lock.released")
+        state = self._lock_state(lock)
+        if state.holder != node.id:
+            raise LockStateError(
+                f"node {node.id} released {lock!r} but holder is {state.holder}"
+            )
+        if state.queue:
+            next_holder = state.queue.pop(0)
+            state.holder = next_holder
+            self._send(node.id, next_holder, "rc.grant", payload=lock)
+        else:
+            state.holder = None
+            self._send(node.id, state.manager, "rc.release", payload=lock)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def _on_message(self, node_id: int, msg: Message) -> None:
+        if msg.kind == "rc.update":
+            var, value, writer = msg.payload
+            self.machine.nodes[node_id].store.write(var, value)
+            self._send(node_id, writer, "rc.ack", payload=None)
+        elif msg.kind == "rc.ack":
+            remaining = self._outstanding.get(node_id, 0) - 1
+            if remaining < 0:
+                raise LockStateError(f"node {node_id} got a stray update ack")
+            self._outstanding[node_id] = remaining
+            if remaining == 0:
+                self._fence_signal(node_id).fire(None)
+        elif msg.kind == "rc.lock_req":
+            lock, requester = msg.payload
+            state = self._lock_state(lock)
+            if state.manager != node_id:
+                raise LockStateError(f"lock request for {lock!r} at non-manager")
+            if state.holder is None:
+                state.holder = requester
+                self._send(node_id, requester, "rc.grant", payload=lock)
+            else:
+                self._send(
+                    node_id, state.holder, "rc.lock_fwd", payload=(lock, requester)
+                )
+        elif msg.kind == "rc.lock_fwd":
+            lock, requester = msg.payload
+            state = self._lock_state(lock)
+            if state.holder == node_id:
+                state.queue.append(requester)
+            else:
+                # Holder changed while the forward was in flight; bounce
+                # the request back through the manager.
+                self._send(node_id, state.manager, "rc.lock_req", payload=(lock, requester))
+        elif msg.kind == "rc.grant":
+            lock = msg.payload
+            waiter = self._grant_waits.pop((lock, node_id), None)
+            if waiter is None:
+                raise LockStateError(f"grant for {lock!r} at {node_id} had no waiter")
+            waiter.resolve(None)
+        elif msg.kind == "rc.release":
+            lock = msg.payload
+            state = self._lock_state(lock)
+            # A release racing a forward: the manager re-dispatches any
+            # requester the old holder could not serve.
+            if state.holder is None and state.queue:
+                requester = state.queue.pop(0)
+                state.holder = requester
+                self._send(node_id, requester, "rc.grant", payload=lock)
+        else:
+            raise LockStateError(f"unknown release-consistency message {msg.kind!r}")
+
+
+register_system("release", ReleaseSystem)
+register_system("weak", ReleaseSystem)

@@ -1,0 +1,186 @@
+"""Sequential consistency baseline.
+
+Section 1.2 of the paper: "The strictest model is sequential
+consistency, which requires both read and write memory accesses to
+appear on all computers in the same order ... It is inefficient even
+for two processors."
+
+Implemented the classic way on top of the same substrate: every shared
+write is sent to a global sequencer (the group root), multicast in
+order, and — the expensive part — **the writer blocks until every
+member has acknowledged the write**.  Reads are local (each member's
+copy reflects a prefix of the global order, and writer-blocking makes
+the order real time).  Locks reuse the centralized-manager protocol;
+no release fence is needed because every write already fenced.
+
+This system exists as a baseline for experiments; the paper's point is
+exactly that nobody should build a large DSM this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.consistency.base import register_system
+from repro.consistency.release import ReleaseSystem
+from repro.core.node import NodeHandle
+from repro.errors import ConsistencyError
+from repro.net.message import Message
+from repro.sim.waiters import Future
+
+
+@dataclass(slots=True)
+class _PendingWrite:
+    """One globally ordered write awaiting member acknowledgements."""
+
+    writer: int
+    acks_left: int
+    done: Future = field(default_factory=lambda: Future(name="sc.write"))
+
+
+class SequentialSystem(ReleaseSystem):
+    """Sequential consistency: globally ordered, writer-blocking writes."""
+
+    name = "sequential"
+
+    def __init__(self, machine: "DSMMachine") -> None:  # noqa: F821
+        # Reuse the release-consistency lock protocol; replace the data
+        # path entirely.
+        super().__init__(machine)
+        machine.register_kind_handler("sc", self._on_sc_message)
+        self._pending: dict[int, _PendingWrite] = {}
+        self._write_ids = 0
+        self._global_seq = 0
+        #: Diagnostics: total writer-blocked time can be derived from
+        #: workload metrics; count the writes here.
+        self.ordered_writes = 0
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def write(
+        self, node: NodeHandle, var: str, value: Any
+    ) -> Generator[Any, Any, None]:
+        """Send to the sequencer and block until all members applied."""
+        group = node.iface.group_of(var)
+        self._write_ids += 1
+        write_id = self._write_ids
+        pending = _PendingWrite(writer=node.id, acks_left=len(group.members))
+        self._pending[write_id] = pending
+        self.machine.network.send(
+            Message(
+                src=node.id,
+                dst=group.root,
+                kind="sc.write",
+                payload=(write_id, var, value, node.id),
+                size_bytes=group.wire_bytes(var, self.machine.params.packet_bytes),
+            )
+        )
+        yield pending.done
+
+    def section_write(self, node: NodeHandle, var: str, value: Any) -> None:
+        """Lock-protected writes: globally ordered, fenced at release.
+
+        Inside a critical section the lock already serializes access, so
+        per-write blocking adds nothing; the write still goes through
+        the global sequencer, is applied locally at once, and the
+        inherited release fence (:class:`ReleaseSystem`) blocks the lock
+        release until every member acknowledged — the strongest
+        behaviour a locked section can observe.
+        """
+        group = node.iface.group_of(var)
+        node.store.write(var, value)
+        self._write_ids += 1
+        self._outstanding[node.id] = (
+            self._outstanding.get(node.id, 0) + len(group.members) - 1
+        )
+        self.machine.network.send(
+            Message(
+                src=node.id,
+                dst=group.root,
+                kind="sc.section_write",
+                payload=(var, value, node.id),
+                size_bytes=group.wire_bytes(var, self.machine.params.packet_bytes),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Messages
+    # ------------------------------------------------------------------
+
+    def _on_sc_message(self, node_id: int, msg: Message) -> None:
+        if msg.kind == "sc.write":
+            write_id, var, value, writer = msg.payload
+            group = self.machine.nodes[node_id].iface.group_of(var)
+            if group.root != node_id:
+                raise ConsistencyError("sc.write arrived at a non-root node")
+            self._global_seq += 1
+            self.ordered_writes += 1
+            size = group.wire_bytes(var, self.machine.params.packet_bytes)
+            for member in group.members:
+                self.machine.network.send(
+                    Message(
+                        src=node_id,
+                        dst=member,
+                        kind="sc.apply",
+                        payload=(write_id, var, value, writer),
+                        size_bytes=size,
+                    )
+                )
+        elif msg.kind == "sc.section_write":
+            var, value, writer = msg.payload
+            group = self.machine.nodes[node_id].iface.group_of(var)
+            self._global_seq += 1
+            self.ordered_writes += 1
+            size = group.wire_bytes(var, self.machine.params.packet_bytes)
+            for member in group.members:
+                if member == writer:
+                    continue  # the writer applied locally already
+                self.machine.network.send(
+                    Message(
+                        src=node_id,
+                        dst=member,
+                        kind="sc.section_apply",
+                        payload=(var, value, writer),
+                        size_bytes=size,
+                    )
+                )
+        elif msg.kind == "sc.section_apply":
+            var, value, writer = msg.payload
+            self.machine.nodes[node_id].store.write(var, value)
+            self.machine.network.send(
+                Message(
+                    src=node_id,
+                    dst=writer,
+                    kind="rc.ack",  # feeds the inherited release fence
+                    payload=None,
+                    size_bytes=self.machine.params.packet_bytes,
+                )
+            )
+        elif msg.kind == "sc.apply":
+            write_id, var, value, writer = msg.payload
+            self.machine.nodes[node_id].store.write(var, value)
+            self.machine.network.send(
+                Message(
+                    src=node_id,
+                    dst=writer,
+                    kind="sc.ack",
+                    payload=write_id,
+                    size_bytes=self.machine.params.packet_bytes,
+                )
+            )
+        elif msg.kind == "sc.ack":
+            pending = self._pending.get(msg.payload)
+            if pending is None:
+                raise ConsistencyError(f"stray SC ack for write {msg.payload}")
+            pending.acks_left -= 1
+            if pending.acks_left == 0:
+                del self._pending[msg.payload]
+                pending.done.resolve(None)
+        else:
+            raise ConsistencyError(f"unknown SC message {msg.kind!r}")
+
+
+register_system("sequential", SequentialSystem)

@@ -1,0 +1,20 @@
+"""Core library: nodes, machines, critical sections, and the public API.
+
+This package assembles the substrates (simulation kernel, network, DSM
+memory, consistency engines, lock protocols) into the object a user
+programs against: a :class:`~repro.core.machine.DSMMachine` populated
+with :class:`~repro.core.node.NodeHandle` processors, running workload
+processes that execute :class:`~repro.core.section.Section` critical
+sections under a chosen consistency system.
+"""
+
+from repro.core.machine import DSMMachine
+from repro.core.node import NodeHandle
+from repro.core.section import Section, SectionContext
+
+__all__ = [
+    "DSMMachine",
+    "NodeHandle",
+    "Section",
+    "SectionContext",
+]

@@ -1,0 +1,259 @@
+"""The DSM machine: processors + interconnect + sharing groups.
+
+:class:`DSMMachine` assembles a complete simulated system: a
+deterministic simulator, the chosen topology and cost parameters, one
+:class:`~repro.core.node.NodeHandle` per processor (local store +
+eagersharing interface + metrics), and any number of sharing groups with
+their variables, locks, and root engines.
+
+Typical construction::
+
+    machine = DSMMachine(n_nodes=8)
+    machine.create_group("g")                       # all nodes, root 0
+    machine.declare_variable("g", "counter", 0, mutex_lock="L")
+    machine.declare_lock("g", "L", protects=("counter",))
+    system = make_system("gwc_optimistic", machine)
+    machine.spawn_workers(worker_fn, system)        # or machine.sim.spawn
+    machine.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.consistency.checker import MutualExclusionChecker
+from repro.core.node import NodeHandle
+from repro.errors import MemoryError_, NetworkError
+from repro.memory.interface import NodeInterface
+from repro.memory.sharing_group import SharingGroup
+from repro.memory.store import LocalStore
+from repro.memory.varspace import LockDecl, VarDecl
+from repro.metrics.collector import MachineMetrics
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.topology import make_topology
+from repro.params import PAPER_PARAMS, MachineParams
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+#: Handler for non-GWC protocol traffic: ``handler(node_id, message)``.
+KindHandler = Callable[[int, Message], None]
+
+
+class DSMMachine:
+    """A simulated distributed-shared-memory machine."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        topology: str = "mesh_torus",
+        params: MachineParams = PAPER_PARAMS,
+        seed: int = 0,
+        tracer: Tracer | None = None,
+        echo_blocking: bool = True,
+        checker: MutualExclusionChecker | None = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        self.params = params
+        self.sim = Simulator(seed=seed, tracer=tracer)
+        self.topology = make_topology(topology, n_nodes)
+        self.loss_model = None
+        nack_timeout = None
+        if loss_rate > 0.0:
+            from repro.net.loss import LossModel
+
+            self.loss_model = LossModel(loss_rate, self.sim.rng.stream("loss"))
+            # Recovery timeout: comfortably above one diameter crossing.
+            nack_timeout = max(
+                4.0 * self.topology.diameter() * params.hop_latency
+                + 16.0 * params.packet_bytes / params.link_bandwidth,
+                2e-6,
+            )
+        self.nack_timeout = nack_timeout
+        self.network = Network(self.sim, self.topology, params, self.loss_model)
+        self.metrics = MachineMetrics(n_nodes)
+        self.checker = checker
+        self.groups: dict[str, SharingGroup] = {}
+        self._kind_handlers: dict[str, KindHandler] = {}
+        self._iface_free_at: dict[int, float] = {}
+        self.nodes: list[NodeHandle] = []
+        for node_id in range(n_nodes):
+            store = LocalStore(node_id)
+            iface = NodeInterface(
+                self.sim,
+                self.network,
+                node_id,
+                store,
+                echo_blocking=echo_blocking,
+                nack_timeout=nack_timeout,
+            )
+            handle = NodeHandle(
+                node_id=node_id,
+                sim=self.sim,
+                store=store,
+                iface=iface,
+                metrics=self.metrics[node_id],
+                params=params,
+            )
+            self.nodes.append(handle)
+            self.network.attach(node_id, self._make_dispatcher(node_id))
+        self.register_kind_handler(
+            "gwc", lambda node_id, msg: self.nodes[node_id].iface.on_message(msg)
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def _make_dispatcher(self, node_id: int) -> Callable[[Message], None]:
+        def handle(msg: Message) -> None:
+            prefix = msg.kind.split(".", 1)[0]
+            handler = self._kind_handlers.get(prefix)
+            if handler is None:
+                raise NetworkError(
+                    f"node {node_id}: no handler for message kind {msg.kind!r}"
+                )
+            handler(node_id, msg)
+
+        service = self.params.interface_service_time
+        if service <= 0.0:
+            return handle
+
+        def dispatch_serialized(msg: Message) -> None:
+            # The node's interface processes one inbound message at a
+            # time: a hot node (e.g. an overloaded global root) queues.
+            start = max(self.sim.now, self._iface_free_at.get(node_id, 0.0))
+            done = start + service
+            self._iface_free_at[node_id] = done
+            self.sim.at(done, lambda: handle(msg))
+
+        return dispatch_serialized
+
+    def register_kind_handler(self, prefix: str, handler: KindHandler) -> None:
+        """Route messages whose kind starts with ``prefix + '.'``."""
+        if prefix in self._kind_handlers:
+            raise NetworkError(f"kind prefix {prefix!r} already registered")
+        self._kind_handlers[prefix] = handler
+
+    # ------------------------------------------------------------------
+    # Groups, variables, locks
+    # ------------------------------------------------------------------
+
+    def create_group(
+        self,
+        name: str,
+        members: Iterable[int] | None = None,
+        root: int = 0,
+    ) -> SharingGroup:
+        """Create a sharing group (default: all nodes, rooted at node 0)."""
+        if name in self.groups:
+            raise MemoryError_(f"group {name!r} already exists")
+        member_tuple = (
+            tuple(range(self.n_nodes)) if members is None else tuple(members)
+        )
+        group = SharingGroup(name, self.network, member_tuple, root)
+        self.groups[name] = group
+        for node_id in group.members:
+            self.nodes[node_id].iface.join_group(group)
+        # The root engine lives on the root node's interface.
+        from repro.consistency.gwc import GroupRootEngine
+
+        engine = GroupRootEngine(self.sim, group, self.params.packet_bytes)
+        if self.nack_timeout is not None:
+            engine.enable_reliability(heartbeat_interval=self.nack_timeout)
+        self.nodes[root].iface.root_engines[name] = engine
+        return group
+
+    def root_engine(self, group: str) -> "GroupRootEngine":  # noqa: F821
+        """The root engine for a group (lives at the group's root node)."""
+        grp = self.groups[group]
+        return self.nodes[grp.root].iface.root_engines[group]
+
+    def declare_variable(
+        self,
+        group: str,
+        name: str,
+        initial: Any = 0,
+        mutex_lock: str | None = None,
+        size_bytes: int = 8,
+    ) -> VarDecl:
+        """Declare an eagerly shared variable on a group."""
+        grp = self.groups[group]
+        decl = VarDecl(
+            name=name,
+            group=group,
+            initial=initial,
+            size_bytes=size_bytes,
+            mutex_lock=mutex_lock,
+        )
+        grp.declare_variable(decl)
+        for node_id in grp.members:
+            self.nodes[node_id].store.declare(name, initial)
+        return decl
+
+    def declare_lock(
+        self,
+        group: str,
+        name: str,
+        protects: Iterable[str] = (),
+        data_bytes: int = 64,
+    ) -> LockDecl:
+        """Declare a lock on a group; installs the root-side manager."""
+        grp = self.groups[group]
+        decl = LockDecl(
+            name=name,
+            group=group,
+            protects=tuple(protects),
+            data_bytes=data_bytes,
+        )
+        grp.declare_lock(decl)
+        from repro.memory.varspace import FREE_VALUE
+
+        for node_id in grp.members:
+            self.nodes[node_id].store.declare(name, FREE_VALUE)
+        self.root_engine(group).add_lock(decl)
+        return decl
+
+    def lock_decl(self, name: str) -> LockDecl:
+        """Look a lock declaration up across all groups."""
+        for group in self.groups.values():
+            if name in group.locks:
+                return group.locks[name]
+        raise MemoryError_(f"no group declares lock {name!r}")
+
+    def group_of_lock(self, name: str) -> SharingGroup:
+        for group in self.groups.values():
+            if name in group.locks:
+                return group
+        raise MemoryError_(f"no group declares lock {name!r}")
+
+    def enable_span_recording(self) -> None:
+        """Keep per-interval busy records for timeline rendering."""
+        for node in self.nodes:
+            node.metrics.record_spans()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self, gen: Generator[Any, Any, Any], name: str = "process"
+    ) -> "Process":  # noqa: F821
+        return self.sim.spawn(gen, name)
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        check_quiescent: bool = True,
+    ) -> float:
+        """Run to completion; records elapsed time into the metrics."""
+        elapsed = self.sim.run(until=until, max_events=max_events)
+        self.metrics.elapsed = elapsed
+        if check_quiescent and until is None:
+            self.sim.check_quiescent()
+        return elapsed

@@ -1,0 +1,151 @@
+"""One simulated processor with its store, sharing interface, and clocks.
+
+A :class:`NodeHandle` is what workload code holds: it bundles the node's
+local memory image, its eagersharing interface, its metrics buckets, and
+helpers for spending simulated CPU time — including
+:meth:`NodeHandle.interruptible_busy`, which lets an optimistic critical
+section stop computing the moment a rollback interrupt arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.memory.interface import NodeInterface
+from repro.memory.store import LocalStore
+from repro.metrics.collector import NodeMetrics
+from repro.params import MachineParams
+from repro.sim.kernel import Simulator
+from repro.sim.waiters import Future, Signal
+
+
+class NodeHandle:
+    """A processor in a :class:`~repro.core.machine.DSMMachine`."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        store: LocalStore,
+        iface: NodeInterface,
+        metrics: NodeMetrics,
+        params: MachineParams,
+    ) -> None:
+        self.id = node_id
+        self.sim = sim
+        self.store = store
+        self.iface = iface
+        self.metrics = metrics
+        self.params = params
+        #: Node-private scratch variables (the paper's ``lcl_*`` locals);
+        #: optimistic sections snapshot and restore entries here.
+        self.locals: dict[str, Any] = {}
+        #: Deferred work chunks (seconds of useful compute) this
+        #: processor can context-swap to while blocked on a lock — the
+        #: paper's "wait or context swap" alternative.
+        self.background_work: list[float] = []
+
+    def __repr__(self) -> str:
+        return f"NodeHandle({self.id})"
+
+    # ------------------------------------------------------------------
+    # Spending simulated time
+    # ------------------------------------------------------------------
+
+    def busy(
+        self, seconds: float, kind: str = "useful"
+    ) -> Generator[Any, Any, float]:
+        """Spend CPU time, recorded into the given metrics bucket."""
+        if seconds > 0:
+            yield seconds
+            self.metrics.add_time(kind, seconds, end=self.sim.now)
+        return seconds
+
+    def compute(
+        self, flops: float, kind: str = "useful"
+    ) -> Generator[Any, Any, float]:
+        """Spend the CPU time needed for ``flops`` operations."""
+        return (yield from self.busy(self.params.compute_time(flops), kind))
+
+    def interruptible_busy(
+        self,
+        seconds: float,
+        abort: Signal | None = None,
+    ) -> Generator[Any, Any, tuple[float, bool]]:
+        """Compute for up to ``seconds``, stopping early if ``abort`` fires.
+
+        Returns ``(elapsed, aborted)``.  The elapsed time is *not*
+        recorded in any metrics bucket — callers classify it afterwards
+        (useful vs. wasted), which is how rolled-back speculation ends up
+        in the right column.
+        """
+        if seconds <= 0:
+            return (0.0, False)
+        if abort is None:
+            yield seconds
+            return (seconds, False)
+
+        start = self.sim.now
+        done = Future(name=f"n{self.id}.interruptible_busy")
+
+        def on_timer() -> None:
+            if not done.resolved:
+                done.resolve(False)
+
+        def on_abort(_: Any) -> None:
+            if not done.resolved:
+                done.resolve(True)
+
+        timer = self.sim.schedule(seconds, on_timer)
+        abort.add_callback(on_abort)
+        aborted = yield done
+        abort.remove_callback(on_abort)
+        if aborted:
+            self.sim.cancel(timer)
+        elapsed = self.sim.now - start
+        return (elapsed, bool(aborted))
+
+    def add_background_work(self, chunks: "list[float] | tuple[float, ...]") -> None:
+        """Queue deferred compute the node may run while lock-blocked."""
+        for chunk in chunks:
+            if chunk <= 0:
+                raise ValueError(f"background chunk must be positive: {chunk}")
+            self.background_work.append(float(chunk))
+
+    def wait_until_with_swap(
+        self,
+        var: str,
+        predicate: "Callable[[Any], bool]",  # noqa: F821
+        swap_overhead: float,
+    ) -> Generator[Any, Any, Any]:
+        """Wait for a value, context-swapping to background work meanwhile.
+
+        The paper's regular lock path "waits or context swaps until lock
+        permission has been granted".  Each swap to a background chunk
+        pays ``swap_overhead`` (saving/restoring processor context); the
+        chunk itself runs to completion as useful work, then the lock
+        condition is rechecked.  With no background work left this is an
+        ordinary blocking wait.
+        """
+        while True:
+            value = self.store.read(var)
+            if predicate(value):
+                return value
+            if not self.background_work:
+                return (yield from self.store.wait_until(var, predicate))
+            chunk = self.background_work.pop(0)
+            self.metrics.count("swap.switches")
+            yield from self.busy(swap_overhead, kind="overhead")
+            yield from self.busy(chunk, kind="useful")
+
+    # ------------------------------------------------------------------
+    # Shared memory convenience
+    # ------------------------------------------------------------------
+
+    def read_local(self, var: str) -> Any:
+        """Read the node's local copy of a shared variable (no delay)."""
+        return self.store.read(var)
+
+    def write_shared(self, var: str, value: Any) -> None:
+        """Eagerly share a write (applies locally, forwards to the root)."""
+        self.iface.share_write(var, value)

@@ -1,0 +1,192 @@
+"""Critical sections: the code the paper's Figures 3 and 4 transform.
+
+A :class:`Section` describes one mutually exclusive code region
+declaratively — which lock guards it, which shared variables it reads
+and writes, which node-local scratch variables it changes — plus a
+``body`` callable that performs the actual reads, computation, and
+writes through a :class:`SectionContext`.
+
+Declaring the read/write sets is the "compiler support" of Figure 4: it
+is exactly the information the optimistic runner needs to save rollback
+state before speculating and to restore it after a conflict.
+
+Bodies must be *re-executable*: the optimistic runner calls the body a
+second time after a rollback.  A body is re-executable when it takes all
+inputs through ``ctx.read`` / ``ctx.local`` and produces all effects
+through ``ctx.write`` / ``ctx.set_local``, and checks ``ctx.aborted``
+after each compute step (speculation that has been interrupted must stop
+before writing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.errors import RollbackError
+from repro.sim.waiters import Signal
+
+#: A section body: a generator function over a :class:`SectionContext`.
+SectionBody = Callable[["SectionContext"], Generator[Any, Any, Any]]
+
+
+@dataclass(frozen=True, slots=True)
+class Section:
+    """Declarative description of one critical section.
+
+    Attributes:
+        lock: Name of the lock guarding the section.
+        shared_reads: Shared variables the body reads (saved for rollback
+            — the paper's ``saved_shared_a_in``).
+        shared_writes: Shared variables the body writes (saved for
+            rollback; their updates pass through — and may be discarded
+            by — the group root).
+        local_vars: Keys of ``node.locals`` the body changes (the paper's
+            ``saved_lcl_c``).
+        body: The section body.
+        label: Optional diagnostic label.
+    """
+
+    lock: str
+    body: SectionBody
+    shared_reads: tuple[str, ...] = ()
+    shared_writes: tuple[str, ...] = ()
+    local_vars: tuple[str, ...] = ()
+    label: str = "section"
+
+    @property
+    def save_set(self) -> tuple[str, ...]:
+        """Shared variables whose local copies must be saved for rollback."""
+        seen: dict[str, None] = {}
+        for name in (*self.shared_reads, *self.shared_writes):
+            seen.setdefault(name)
+        return tuple(seen)
+
+    def save_bytes(self, word_bytes: int = 8) -> int:
+        """Approximate size of the rollback save set, for cost modelling."""
+        return word_bytes * (len(self.save_set) + len(self.local_vars))
+
+
+class SectionContext:
+    """The body's window onto the node during one section execution."""
+
+    def __init__(
+        self,
+        node: "NodeHandle",  # noqa: F821 - circular-import avoidance
+        write_through: Callable[[str, Any], None],
+        abort: Signal | None = None,
+    ) -> None:
+        self.node = node
+        self._write_through = write_through
+        self._abort = abort
+        #: CPU time the body has spent so far (classified by the runner).
+        self.elapsed = 0.0
+        #: Set once an interrupt cut a compute step short.
+        self.aborted = False
+        #: Read-modify-write observations, committed to the machine's
+        #: checker only if this execution commits (rolled-back
+        #: speculation must not pollute the serializability chain).
+        self.rmw_observations: list[tuple[str, Any, Any]] = []
+        if abort is not None:
+            # Latch the abort so a fire between two compute steps is not
+            # lost (Signal wake-ups only reach waiters registered at fire
+            # time).
+            abort.add_callback(self._on_abort)
+
+    def _on_abort(self, _payload: Any) -> None:
+        self.aborted = True
+
+    # -- data access ---------------------------------------------------
+
+    def read(self, var: str) -> Any:
+        """Read the local copy of a shared variable."""
+        return self.node.store.read(var)
+
+    def write(self, var: str, value: Any) -> None:
+        """Write a shared variable through the active consistency system."""
+        if self.aborted:
+            raise RollbackError(
+                f"section body on node {self.node.id} wrote {var!r} after "
+                "its speculation was aborted; check ctx.aborted after "
+                "compute steps"
+            )
+        self._write_through(var, value)
+
+    def local(self, name: str, default: Any = None) -> Any:
+        """Read a node-local scratch variable."""
+        return self.node.locals.get(name, default)
+
+    def observe_rmw(self, counter: str, read_value: Any, written_value: Any) -> None:
+        """Record a read-modify-write for the serializability oracle.
+
+        Buffered here and fed to the checker by the section runner only
+        when the execution commits.
+        """
+        self.rmw_observations.append((counter, read_value, written_value))
+
+    def set_local(self, name: str, value: Any) -> None:
+        if self.aborted:
+            raise RollbackError(
+                f"section body on node {self.node.id} set local {name!r} "
+                "after its speculation was aborted"
+            )
+        self.node.locals[name] = value
+
+    # -- time ----------------------------------------------------------
+
+    def compute(self, seconds: float) -> Generator[Any, Any, float]:
+        """Spend section CPU time; may end early if speculation aborts."""
+        if self.aborted:
+            return 0.0
+        elapsed, aborted = yield from self.node.interruptible_busy(
+            seconds, self._abort
+        )
+        self.elapsed += elapsed
+        if aborted:
+            self.aborted = True
+        return elapsed
+
+
+@dataclass(slots=True)
+class SectionOutcome:
+    """What one section execution did (returned by section runners)."""
+
+    optimistic: bool = False
+    rolled_back: bool = False
+    useful_time: float = 0.0
+    wasted_time: float = 0.0
+    result: Any = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+def snapshot_for_rollback(node: "NodeHandle", section: Section) -> dict[str, Any]:  # noqa: F821
+    """Figure 4 lines (14)-(16): save everything the body may change."""
+    saved: dict[str, Any] = {}
+    for var in section.save_set:
+        saved[f"shared:{var}"] = node.store.read(var)
+    for name in section.local_vars:
+        saved[f"local:{name}"] = node.locals.get(name)
+    return saved
+
+
+def restore_from_rollback(
+    node: "NodeHandle",  # noqa: F821
+    section: Section,
+    saved: dict[str, Any],
+) -> None:
+    """Figure 4 lines (22)-(24): put every saved value back.
+
+    Restores write the local store directly (not through eagersharing):
+    rollback repairs *local* state only — remote copies were never
+    corrupted because the group root discarded the speculative updates.
+    """
+    for var in section.save_set:
+        key = f"shared:{var}"
+        if key not in saved:
+            raise RollbackError(f"rollback snapshot missing {key!r}")
+        node.store.write(var, saved[key])
+    for name in section.local_vars:
+        key = f"local:{name}"
+        if key not in saved:
+            raise RollbackError(f"rollback snapshot missing {key!r}")
+        node.locals[name] = saved[key]

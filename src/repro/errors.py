@@ -1,0 +1,81 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """A failure inside the discrete-event simulation kernel."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process misbehaved (bad yield value, double resume...)."""
+
+
+class TopologyError(ReproError):
+    """An invalid network topology or routing request."""
+
+
+class NetworkError(ReproError):
+    """A failure in the simulated network layer."""
+
+
+class MemoryError_(ReproError):
+    """A failure in the DSM memory substrate.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`MemoryError`.
+    """
+
+
+class UnknownVariableError(MemoryError_):
+    """A variable name was used before being declared in a sharing group."""
+
+
+class GroupMembershipError(MemoryError_):
+    """A node accessed a sharing group it is not a member of."""
+
+
+class ConsistencyError(ReproError):
+    """A consistency-model invariant was violated."""
+
+
+class SequencingError(ConsistencyError):
+    """Group-write-consistency sequencing was violated (gap or reorder)."""
+
+
+class LockError(ReproError):
+    """A failure in a lock protocol."""
+
+
+class LockNestingError(LockError):
+    """A processor attempted to re-acquire a lock it already holds.
+
+    Mirrors line (28) of the paper's Figure 4: ``ERROR(Cannot safely nest
+    mutex lock requests)``.
+    """
+
+
+class LockStateError(LockError):
+    """A lock operation was attempted in an invalid state (e.g. releasing
+    a lock the caller does not hold)."""
+
+
+class RollbackError(ReproError):
+    """A failure while saving or restoring optimistic rollback state."""
+
+
+class WorkloadError(ReproError):
+    """A workload was configured with invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment sweep was configured with invalid parameters."""

@@ -1,0 +1,257 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* :func:`run_threshold_sweep` (A1) — how the optimism threshold trades
+  rollback waste against hidden lock latency, under low and high
+  contention.  The paper's example threshold is 0.30.
+* :func:`run_echo_blocking_ablation` (A2) — what goes wrong without the
+  Figure 6 hardware blocking filter (see
+  :func:`repro.workloads.scenarios.run_double_write`).
+* :func:`run_lock_protocol_shootout` (A3) — all registered consistency
+  systems on the shared-counter kernel.
+* :func:`run_force_modes` — forcing the optimistic runner always-on /
+  always-off isolates the value of the usage-frequency history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.report import format_table
+from repro.params import PAPER_PARAMS, MachineParams
+from repro.workloads.counter import CounterConfig, run_counter
+from repro.workloads.scenarios import DoubleWriteConfig, run_double_write
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdRow:
+    """One optimism threshold's outcome under a given contention level."""
+
+    threshold: float
+    think_time: float
+    elapsed: float
+    attempts: int
+    successes: int
+    rollbacks: int
+    regular: int
+    wasted: float
+
+
+def run_threshold_sweep(
+    thresholds: tuple[float, ...] = (0.0, 0.1, 0.3, 0.5, 0.9, 1.0),
+    think_times: tuple[float, ...] = (2e-6, 50e-6),
+    n_nodes: int = 6,
+    increments_per_node: int = 16,
+    params: MachineParams = PAPER_PARAMS,
+) -> list[ThresholdRow]:
+    """A1: sweep the optimism threshold under two contention levels.
+
+    Small ``think_time`` means heavy contention (optimism should be
+    suppressed by the history); large means light contention (optimism
+    should win).  Threshold 0.0 forces every request down the regular
+    path once any usage has ever been seen; 1.0 never suppresses.
+    """
+    rows = []
+    for think in think_times:
+        for threshold in thresholds:
+            result = run_counter(
+                CounterConfig(
+                    system="gwc_optimistic",
+                    n_nodes=n_nodes,
+                    increments_per_node=increments_per_node,
+                    think_time=think,
+                    params=params,
+                    threshold=threshold,
+                )
+            )
+            assert result.extra["correct"], "counter lost updates"
+            rows.append(
+                ThresholdRow(
+                    threshold=threshold,
+                    think_time=think,
+                    elapsed=result.elapsed,
+                    attempts=result.counter("opt.attempts"),
+                    successes=result.counter("opt.successes"),
+                    rollbacks=result.counter("opt.rollbacks"),
+                    regular=result.counter("opt.regular_path"),
+                    wasted=result.metrics.total_wasted(),
+                )
+            )
+    return rows
+
+
+def render_threshold(rows: list[ThresholdRow]) -> str:
+    return format_table(
+        [
+            "think (us)",
+            "threshold",
+            "elapsed (us)",
+            "attempts",
+            "successes",
+            "rollbacks",
+            "regular",
+            "wasted (us)",
+        ],
+        [
+            [
+                row.think_time * 1e6,
+                row.threshold,
+                row.elapsed * 1e6,
+                row.attempts,
+                row.successes,
+                row.rollbacks,
+                row.regular,
+                row.wasted * 1e6,
+            ]
+            for row in rows
+        ],
+        title="Ablation A1: optimism threshold sweep",
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ShootoutRow:
+    """One lock protocol / consistency system on the counter kernel."""
+
+    system: str
+    elapsed: float
+    correct: bool
+    remote_attempts: int
+
+
+def run_lock_protocol_shootout(
+    systems: tuple[str, ...] = ("gwc", "gwc_optimistic", "entry", "release"),
+    n_nodes: int = 8,
+    increments_per_node: int = 8,
+    think_time: float = 20e-6,
+    params: MachineParams = PAPER_PARAMS,
+) -> list[ShootoutRow]:
+    """A3a: every consistency system runs the same counter kernel."""
+    rows = []
+    for system in systems:
+        result = run_counter(
+            CounterConfig(
+                system=system,
+                n_nodes=n_nodes,
+                increments_per_node=increments_per_node,
+                think_time=think_time,
+                params=params,
+            )
+        )
+        rows.append(
+            ShootoutRow(
+                system=system,
+                elapsed=result.elapsed,
+                correct=result.extra["correct"],
+                remote_attempts=0,
+            )
+        )
+    return rows
+
+
+def run_lock_primitive_shootout(
+    n_nodes: int = 6,
+    increments_per_node: int = 8,
+    think_time: float = 10e-6,
+    params: MachineParams = PAPER_PARAMS,
+) -> list[ShootoutRow]:
+    """A3b: the paper's locks vs. the cited TAS/TTAS/MCS baselines."""
+    from repro.workloads.lock_bench import PROTOCOLS, LockBenchConfig, run_lock_bench
+
+    rows = []
+    for protocol in PROTOCOLS:
+        result = run_lock_bench(
+            LockBenchConfig(
+                protocol=protocol,
+                n_nodes=n_nodes,
+                increments_per_node=increments_per_node,
+                think_time=think_time,
+                params=params,
+            )
+        )
+        rows.append(
+            ShootoutRow(
+                system=protocol,
+                elapsed=result.elapsed,
+                correct=result.extra["correct"],
+                remote_attempts=result.extra.get("remote_attempts", 0),
+            )
+        )
+    return rows
+
+
+def render_shootout(rows: list[ShootoutRow]) -> str:
+    return format_table(
+        ["protocol", "elapsed (us)", "correct", "remote attempts"],
+        [
+            [row.system, row.elapsed * 1e6, row.correct, row.remote_attempts]
+            for row in rows
+        ],
+        title="Ablation A3: lock protocol shoot-out (counter kernel)",
+    )
+
+
+def run_echo_blocking_ablation(rounds: int = 6, n_nodes: int = 8):
+    """A2: the double-write hazard with and without the Figure 6 filter.
+
+    Returns ``(with_filter, without_filter)`` workload results; the
+    filtered run must be correct, and the unfiltered run demonstrates
+    the corruption the paper's hardware blocking mechanism prevents
+    (or, at minimum, that the filter is load-bearing: it drops echoes).
+    """
+    with_filter = run_double_write(
+        DoubleWriteConfig(rounds=rounds, n_nodes=n_nodes, echo_blocking=True)
+    )
+    without_filter = run_double_write(
+        DoubleWriteConfig(rounds=rounds, n_nodes=n_nodes, echo_blocking=False)
+    )
+    return with_filter, without_filter
+
+
+def run_force_modes(
+    n_nodes: int = 6,
+    increments_per_node: int = 12,
+    think_time: float = 4e-6,
+    params: MachineParams = PAPER_PARAMS,
+):
+    """History value: adaptive vs always-optimistic vs always-regular.
+
+    Under contention, always-optimistic wastes work on rollbacks and
+    always-regular hides nothing; the history should land near the
+    better of the two.  Returns ``{mode: WorkloadResult}``.
+    """
+    from repro.workloads.base import build_machine, finish
+    from repro.workloads.counter import COUNTER, GROUP, LOCK, _increment_body, _worker
+    from repro.core.section import Section
+
+    results = {}
+    for mode in ("adaptive", "optimistic", "regular"):
+        force = None if mode == "adaptive" else mode
+        machine, system = build_machine(
+            "gwc_optimistic", n_nodes, params=params, force=force
+        )
+        machine.create_group(GROUP)
+        machine.declare_variable(GROUP, COUNTER, 0, mutex_lock=LOCK)
+        machine.declare_lock(GROUP, LOCK, protects=(COUNTER,))
+        section = Section(
+            lock=LOCK,
+            body=_increment_body,
+            shared_reads=(COUNTER,),
+            shared_writes=(COUNTER,),
+        )
+        config = CounterConfig(
+            system="gwc_optimistic",
+            n_nodes=n_nodes,
+            increments_per_node=increments_per_node,
+            think_time=think_time,
+            params=params,
+        )
+        for node in machine.nodes:
+            node.locals["_update_time"] = config.update_time
+            node.locals["_checker"] = machine.checker
+            machine.spawn(
+                _worker(node, system, config, section), name=f"force-{node.id}"
+            )
+        results[mode] = finish(machine, system)
+        if machine.checker is not None:
+            machine.checker.verify_chain(COUNTER, 0)
+    return results

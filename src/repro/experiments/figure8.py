@@ -1,0 +1,147 @@
+"""Figure 8 — mutex methods: network power vs. number of CPUs.
+
+Regenerates the figure's four series on the linear-pipeline workload:
+
+1. the zero-delay maximum (1.89 for 2+ CPUs at a 1/8 mutex ratio),
+2. optimistic GWC locking (paper: 1.68 @ 2 CPUs, 1.15 @ 128),
+3. regular (non-optimistic) GWC locking (paper: 1.53 @ 2, 1.03 @ 128),
+4. entry consistency (paper: 0.81 @ 2, 0.64 @ 128).
+
+Summary claims: "execution with optimistic synchronization can be 1.1
+times faster than with non-optimistic locking under group write
+consistency and 2.1 times faster than with entry consistency."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    PaperExpectation,
+    data_size_fig8,
+    network_sizes_fig8,
+)
+from repro.metrics.report import format_table
+from repro.params import PAPER_PARAMS, MachineParams
+from repro.workloads.pipeline import PipelineConfig, run_pipeline
+
+
+@dataclass(frozen=True, slots=True)
+class Figure8Row:
+    """One network size's power across the figure's series."""
+
+    n_nodes: int
+    max_power: float
+    optimistic: float
+    gwc: float
+    entry: float
+    rollbacks: int
+
+
+def run_figure8(
+    sizes: tuple[int, ...] | None = None,
+    data_size: int | None = None,
+    local_time: float = 10e-6,
+    mutex_ratio: float = 8.0,
+    item_bytes: int = 64,
+    block_bytes: int = 64,
+    params: MachineParams = PAPER_PARAMS,
+) -> list[Figure8Row]:
+    """Sweep network sizes for the four Figure 8 series."""
+    sizes = sizes if sizes is not None else network_sizes_fig8()
+    data_size = data_size if data_size is not None else data_size_fig8()
+    rows = []
+    for n_nodes in sizes:
+        base = dict(
+            n_nodes=n_nodes,
+            data_size=data_size,
+            local_time=local_time,
+            mutex_ratio=mutex_ratio,
+            item_bytes=item_bytes,
+            block_bytes=block_bytes,
+        )
+        ideal = run_pipeline(
+            PipelineConfig(system="gwc", params=params.zero_delay(), **base)
+        )
+        optimistic = run_pipeline(
+            PipelineConfig(system="gwc_optimistic", params=params, **base)
+        )
+        gwc = run_pipeline(PipelineConfig(system="gwc", params=params, **base))
+        entry = run_pipeline(PipelineConfig(system="entry", params=params, **base))
+        for result in (ideal, optimistic, gwc, entry):
+            if not result.extra["acc_correct"]:
+                raise AssertionError(
+                    f"{result.system} at n={n_nodes}: wrong accumulator value"
+                )
+        rows.append(
+            Figure8Row(
+                n_nodes=n_nodes,
+                max_power=ideal.speedup,
+                optimistic=optimistic.speedup,
+                gwc=gwc.speedup,
+                entry=entry.speedup,
+                rollbacks=optimistic.extra["rollbacks"],
+            )
+        )
+    return rows
+
+
+def expectations(rows: list[Figure8Row]) -> list[PaperExpectation]:
+    """Figure 8's qualitative claims, checked against the sweep."""
+    first, last = rows[0], rows[-1]
+    checks = [
+        PaperExpectation(
+            "the zero-delay maximum is about 1.89 at every size",
+            all(abs(row.max_power - 1.89) < 0.08 for row in rows),
+        ),
+        PaperExpectation(
+            "optimistic > non-optimistic GWC > entry at every size",
+            all(row.optimistic > row.gwc > row.entry for row in rows),
+        ),
+        PaperExpectation(
+            "no rollbacks occur (the pipeline has no lock contention)",
+            all(row.rollbacks == 0 for row in rows),
+        ),
+        PaperExpectation(
+            "optimistic over non-optimistic is about 1.1x at 2 CPUs "
+            f"(measured {first.optimistic / first.gwc:.2f})",
+            1.0 < first.optimistic / first.gwc < 1.35,
+        ),
+        PaperExpectation(
+            "optimistic over entry is about 2.1x at 2 CPUs "
+            f"(measured {first.optimistic / first.entry:.2f})",
+            first.optimistic / first.entry > 1.4,
+        ),
+        PaperExpectation(
+            "power declines as the network grows (longer lock trips)",
+            last.optimistic < first.optimistic and last.gwc < first.gwc,
+        ),
+    ]
+    return checks
+
+
+def render(rows: list[Figure8Row]) -> str:
+    return format_table(
+        ["CPUs", "max (no delay)", "optimistic", "non-opt GWC", "entry"],
+        [
+            [row.n_nodes, row.max_power, row.optimistic, row.gwc, row.entry]
+            for row in rows
+        ],
+        title="Figure 8: mutex methods (network power in CPUs)",
+    )
+
+
+def chart(rows: list[Figure8Row]) -> str:
+    """The figure's four series as an ASCII chart (log-2 x axis)."""
+    from repro.metrics.ascii_chart import render_chart
+
+    return render_chart(
+        {
+            "max": [(r.n_nodes, r.max_power) for r in rows],
+            "optimistic": [(r.n_nodes, r.optimistic) for r in rows],
+            "non-opt GWC": [(r.n_nodes, r.gwc) for r in rows],
+            "entry": [(r.n_nodes, r.entry) for r in rows],
+        },
+        title="Figure 8: mutex methods (network power in CPUs)",
+        logx=True,
+    )

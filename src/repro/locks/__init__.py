@@ -1,0 +1,23 @@
+"""Lock protocols.
+
+* :mod:`repro.locks.gwc_lock` — the queue-based GWC lock of Section 2:
+  root-side :class:`~repro.locks.gwc_lock.GwcLockManager` plus the
+  regular (blocking) client.
+* :mod:`repro.locks.optimistic` — the paper's contribution (Section 4):
+  the optimistic mutual-exclusion runner with rollback.
+* :mod:`repro.locks.history` — the EWMA usage-frequency history that
+  gates optimism.
+* :mod:`repro.locks.entry_lock` — entry-consistency comparator lock.
+* :mod:`repro.locks.release_lock` — weak/release-consistency comparator.
+* :mod:`repro.locks.spin` / :mod:`repro.locks.mcs` — classic baselines
+  the paper cites (test-and-set family, software queue locks).
+"""
+
+from repro.locks.history import UsageHistory
+from repro.locks.gwc_lock import GwcLockClient, GwcLockManager
+
+__all__ = [
+    "GwcLockClient",
+    "GwcLockManager",
+    "UsageHistory",
+]

@@ -1,0 +1,70 @@
+"""A sense-reversing central barrier on the eagersharing substrate.
+
+Barriers are the other synchronization workhorse of DSM programs (the
+paper's task-management and pipeline examples sidestep them, but any
+iterative shared-memory code needs one).  This implementation uses the
+machinery the library already provides, in exactly the way Sesame would:
+
+* arrival is one root-arbitrated ``fetch_and_add`` on a shared counter
+  (remote atomics, :mod:`repro.locks.rmw`);
+* the last arriver flips an eagerly shared *sense* flag, which the
+  root's multicast pushes to every member — so waiters spin **locally**
+  on their own copy, costing zero network traffic (the eagersharing
+  point: "the test variable is immediately sent to all processors
+  whenever it changes");
+* sense reversal makes the barrier reusable without resetting races.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.node import NodeHandle
+from repro.errors import LockError
+from repro.locks.rmw import RemoteAtomics
+
+
+class CentralBarrier:
+    """A reusable barrier over one sharing group."""
+
+    def __init__(
+        self,
+        name: str,
+        group: str,
+        machine: "DSMMachine",  # noqa: F821
+        atomics: RemoteAtomics,
+        parties: int | None = None,
+    ) -> None:
+        grp = machine.groups[group]
+        self.name = name
+        self.parties = parties if parties is not None else len(grp.members)
+        if self.parties < 1:
+            raise LockError(f"barrier needs at least one party: {self.parties}")
+        self.atomics = atomics
+        self.count_var = f"{name}.count"
+        self.sense_var = f"{name}.sense"
+        machine.declare_variable(group, self.count_var, 0)
+        machine.declare_variable(group, self.sense_var, False)
+        #: Per-node local sense (which flag value means "released").
+        self._local_sense: dict[int, bool] = {}
+
+    def wait(self, node: NodeHandle) -> Generator[Any, Any, int]:
+        """Arrive and block until all parties have arrived.
+
+        Returns this node's arrival index within the episode (0-based);
+        the last arriver gets ``parties - 1`` and released everyone.
+        """
+        my_sense = not self._local_sense.get(node.id, False)
+        self._local_sense[node.id] = my_sense
+        arrived = yield from self.atomics.fetch_and_add(node, self.count_var, 1)
+        position = arrived % self.parties
+        node.metrics.count("barrier.arrivals")
+        if position == self.parties - 1:
+            # Last arriver: flip the sense; eagersharing releases all.
+            node.iface.share_write(self.sense_var, my_sense)
+            node.metrics.count("barrier.releases")
+        else:
+            yield from node.store.wait_until(
+                self.sense_var, lambda sense: sense == my_sense
+            )
+        return position

@@ -1,0 +1,146 @@
+"""The queue-based GWC lock of Section 2.
+
+Root side — :class:`GwcLockManager`: "The root checks if the lock is
+free.  If not free, the processor ID number is queued.  If free, the root
+writes the positive processor ID into the lock variable to grant
+permission. ... As each processor frees the lock [...] the root checks
+whether any nodes are queued awaiting exclusive access.  If so, the next
+queued number is written as the new lock value.  If not, the free value
+is propagated to all group memories."
+
+The grant multicast is *sequenced after* any data writes the previous
+holder sent before its release (FIFO channel into the root, root
+sequencing out), which is exactly why "a processor always receives
+exclusive access within one or one half round-trip time of the lock being
+freed" with "no network traffic except three one-way messages".
+
+Client side — :class:`GwcLockClient`: the regular (non-optimistic)
+request path: atomically exchange the local lock copy with the negated
+processor id (which also forwards the request to the root) and wait until
+the local copy shows this node's positive id.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import LockStateError
+from repro.memory.varspace import (
+    FREE_VALUE,
+    LockDecl,
+    grant_value,
+    holder_of,
+    request_value,
+    requester_of,
+)
+
+
+class GwcLockManager:
+    """Root-side lock state machine for one lock variable."""
+
+    def __init__(self, decl: LockDecl) -> None:
+        self.decl = decl
+        self.holder: int | None = None
+        self.queue: list[int] = []
+        #: Diagnostics.
+        self.grants = 0
+        self.releases = 0
+        self.max_queue = 0
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    def holds(self, node: int) -> bool:
+        """Does ``node`` currently hold the lock (root's authoritative view)?"""
+        return self.holder == node
+
+    def on_write(self, origin: int, value: Any) -> list[int]:
+        """Process a lock-variable write arriving at the root.
+
+        Returns the list of lock values the root must now sequence and
+        multicast (grants / free propagation), in order.  The caller (the
+        group root engine) performs the actual multicasts so they get
+        group-global sequence numbers.
+        """
+        requester = requester_of(value)
+        if requester is not None:
+            return self._on_request(origin, requester)
+        if value == FREE_VALUE:
+            return self._on_release(origin)
+        granted = holder_of(value)
+        raise LockStateError(
+            f"lock {self.name!r}: unexpected write {value!r} from node "
+            f"{origin} (grant values are root-only, granted={granted})"
+        )
+
+    def _on_request(self, origin: int, requester: int) -> list[int]:
+        if requester != origin:
+            raise LockStateError(
+                f"lock {self.name!r}: node {origin} forged a request "
+                f"for node {requester}"
+            )
+        if self.holder is None:
+            self.holder = requester
+            self.grants += 1
+            return [grant_value(requester)]
+        if requester == self.holder or requester in self.queue:
+            raise LockStateError(
+                f"lock {self.name!r}: node {requester} requested twice"
+            )
+        self.queue.append(requester)
+        self.max_queue = max(self.max_queue, len(self.queue))
+        return []
+
+    def _on_release(self, origin: int) -> list[int]:
+        if self.holder != origin:
+            raise LockStateError(
+                f"lock {self.name!r}: node {origin} released but holder "
+                f"is {self.holder}"
+            )
+        self.releases += 1
+        if self.queue:
+            self.holder = self.queue.pop(0)
+            self.grants += 1
+            return [grant_value(self.holder)]
+        self.holder = None
+        return [FREE_VALUE]
+
+
+class GwcLockClient:
+    """Regular (blocking, non-optimistic) GWC lock operations for one node.
+
+    Stateless aside from the declaration: all state lives in the node's
+    local store (the lock variable copy) and at the root (the manager).
+    """
+
+    def __init__(self, decl: LockDecl) -> None:
+        self.decl = decl
+
+    def acquire(self, node: "NodeHandle") -> Generator[Any, Any, None]:  # noqa: F821
+        """Request the lock and wait for the local copy to show our grant."""
+        name = self.decl.name
+        mine = grant_value(node.id)
+        current = node.store.read(name)
+        if holder_of(current) == node.id or requester_of(current) == node.id:
+            from repro.errors import LockNestingError
+
+            raise LockNestingError(
+                f"node {node.id} cannot safely nest requests for {name!r}"
+            )
+        node.iface.atomic_exchange(name, request_value(node.id))
+        node.metrics.count("lock.requests")
+        yield from node.store.wait_until(name, lambda v: v == mine)
+        node.metrics.count("lock.acquired")
+
+    def release(self, node: "NodeHandle") -> Generator[Any, Any, None]:  # noqa: F821
+        """Free the lock locally; the root forwards it to the next waiter."""
+        name = self.decl.name
+        if holder_of(node.store.read(name)) != node.id:
+            raise LockStateError(
+                f"node {node.id} released {name!r} without holding it"
+            )
+        node.iface.share_write(name, FREE_VALUE)
+        node.metrics.count("lock.released")
+        return
+        yield  # pragma: no cover - marks this function as a generator

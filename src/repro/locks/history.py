@@ -1,0 +1,72 @@
+"""Usage-frequency history for optimistic locking.
+
+Section 4 of the paper: *"The history frequency information can, as an
+example, be derived from a simple formula such as
+``old = 0.95*old + 0.05*new``, where old and new represent usage and 1.0
+means 'lock held by another CPU'"*, and the optimistic path is taken only
+when the history is below *"a certain threshold (e.g. 0.30)"*.
+
+The history is updated at two points, matching Figure 4 line (05) and
+Figure 5 line (P9):
+
+1. on every lock request, from the value the atomic exchange swapped out
+   of the local lock copy, and
+2. inside the lock-change interrupt when another processor gets the lock.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LockError
+
+#: The paper's example decay factor.
+DEFAULT_DECAY = 0.95
+#: The paper's example optimism threshold.
+DEFAULT_THRESHOLD = 0.30
+
+#: Sample meaning "lock held by another CPU".
+SAMPLE_BUSY = 1.0
+#: Sample meaning "lock appeared free".
+SAMPLE_FREE = 0.0
+
+
+class UsageHistory:
+    """Exponentially weighted moving average of observed lock usage."""
+
+    def __init__(
+        self,
+        decay: float = DEFAULT_DECAY,
+        threshold: float = DEFAULT_THRESHOLD,
+        initial: float = 0.0,
+    ) -> None:
+        if not 0.0 <= decay <= 1.0:
+            raise LockError(f"decay must be in [0, 1]: {decay}")
+        if not 0.0 <= initial <= 1.0:
+            raise LockError(f"initial must be in [0, 1]: {initial}")
+        self.decay = decay
+        self.threshold = threshold
+        self.value = initial
+        self.samples = 0
+
+    def update(self, sample: float) -> float:
+        """Fold one usage observation into the history; returns the EWMA."""
+        if not 0.0 <= sample <= 1.0:
+            raise LockError(f"sample must be in [0, 1]: {sample}")
+        self.value = self.decay * self.value + (1.0 - self.decay) * sample
+        self.samples += 1
+        return self.value
+
+    def observe_busy(self) -> float:
+        return self.update(SAMPLE_BUSY)
+
+    def observe_free(self) -> float:
+        return self.update(SAMPLE_FREE)
+
+    def indicates_usage(self) -> bool:
+        """True when the lock has shown too much recent use to speculate."""
+        return self.value > self.threshold
+
+    def __repr__(self) -> str:
+        return (
+            f"UsageHistory(value={self.value:.4f}, "
+            f"threshold={self.threshold}, samples={self.samples})"
+        )

@@ -1,0 +1,83 @@
+"""The MCS software queue lock (Mellor-Crummey & Scott [14]).
+
+The software queue-lock baseline the paper cites: requesters enqueue
+themselves with a remote fetch-and-store on the shared tail pointer and
+then spin on a *node-local* flag; the predecessor's release writes that
+flag, and eagersharing delivers the write, waking exactly one waiter.
+Releasing with an empty queue uses compare-and-swap on the tail.
+
+Shared state per lock (all ordinary eagershared words):
+
+* ``<name>.tail``      — 0 when empty, else ``node + 1`` of the last waiter;
+* ``<name>.locked.i``  — node *i* spins on this until its predecessor
+  clears it;
+* ``<name>.next.i``    — node *i*'s successor (0 = none).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.node import NodeHandle
+from repro.locks.rmw import RemoteAtomics
+
+#: Tail/next encoding for "no node".
+NIL = 0
+
+
+class McsLock:
+    """One MCS lock bound to a machine's sharing group."""
+
+    def __init__(
+        self,
+        name: str,
+        group: str,
+        machine: "DSMMachine",  # noqa: F821
+        atomics: RemoteAtomics,
+    ) -> None:
+        self.name = name
+        self.machine = machine
+        self.atomics = atomics
+        self.tail_var = f"{name}.tail"
+        machine.declare_variable(group, self.tail_var, NIL)
+        grp = machine.groups[group]
+        self._locked = {}
+        self._next = {}
+        for node_id in grp.members:
+            self._locked[node_id] = f"{name}.locked.{node_id}"
+            self._next[node_id] = f"{name}.next.{node_id}"
+            machine.declare_variable(group, self._locked[node_id], False)
+            machine.declare_variable(group, self._next[node_id], NIL)
+
+    def acquire(self, node: NodeHandle) -> Generator[Any, Any, None]:
+        me = node.id + 1
+        node.iface.share_write(self._next[node.id], NIL)
+        node.iface.share_write(self._locked[node.id], True)
+        predecessor = yield from self.atomics.fetch_and_store(
+            node, self.tail_var, me
+        )
+        if predecessor != NIL:
+            # Link behind the predecessor, then spin locally until it
+            # hands the lock over (the write arrives via eagersharing).
+            node.iface.share_write(self._next[predecessor - 1], me)
+            yield from node.store.wait_until(
+                self._locked[node.id], lambda held: not held
+            )
+        node.metrics.count("lock.acquired")
+
+    def release(self, node: NodeHandle) -> Generator[Any, Any, None]:
+        me = node.id + 1
+        successor = node.store.read(self._next[node.id])
+        if successor == NIL:
+            old = yield from self.atomics.compare_and_swap(
+                node, self.tail_var, expected=me, value=NIL
+            )
+            if old == me:
+                node.metrics.count("lock.released")
+                return
+            # Someone enqueued concurrently; wait for the link to appear.
+            successor = yield from node.store.wait_until(
+                self._next[node.id], lambda nxt: nxt != NIL
+            )
+        node.iface.share_write(self._locked[successor - 1], False)
+        node.metrics.count("lock.released")

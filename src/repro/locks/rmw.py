@@ -1,0 +1,163 @@
+"""Root-arbitrated remote atomic operations.
+
+The classic lock baselines the paper cites — test-and-set [3],
+test-and-test-and-set [17], and software queue locks like MCS [14] —
+need atomic read-modify-write on shared words.  On an eagersharing
+group the natural serialization point is the group root, which already
+sequences every write: an atomic travels to the root, mutates the
+root's authoritative copy, is multicast like any other sequenced write,
+and the old value returns to the requester.
+
+This mirrors how a memory controller or NAK-free directory serializes
+RMWs in hardware DSMs; the cost is one request/reply round trip per
+atomic, which is exactly why the paper prefers its queue-based GWC lock
+(one-way traffic) for contended locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.core.node import NodeHandle
+from repro.errors import LockError
+from repro.net.message import Message
+from repro.sim.waiters import Future
+
+#: Supported operations.
+OP_TEST_AND_SET = "test_and_set"
+OP_FETCH_AND_STORE = "fetch_and_store"
+OP_COMPARE_AND_SWAP = "compare_and_swap"
+OP_FETCH_AND_ADD = "fetch_and_add"
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicRequest:
+    """One remote atomic: op, target variable, operands, reply routing."""
+
+    op: str
+    var: str
+    operand: Any
+    operand2: Any
+    origin: int
+    request_id: int
+
+
+class RemoteAtomics:
+    """Client + root-side dispatcher for remote atomics on a machine."""
+
+    def __init__(self, machine: "DSMMachine") -> None:  # noqa: F821
+        self.machine = machine
+        self._waits: dict[int, Future] = {}
+        self._ids = 0
+        machine.register_kind_handler("rmw", self._on_message)
+        #: Count of atomics served (diagnostics).
+        self.served = 0
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, node: NodeHandle, op: str, var: str, operand: Any, operand2: Any = None
+    ) -> Generator[Any, Any, Any]:
+        """Issue one atomic and wait for the old value."""
+        group = node.iface.group_of(var)
+        self._ids += 1
+        request = AtomicRequest(
+            op=op,
+            var=var,
+            operand=operand,
+            operand2=operand2,
+            origin=node.id,
+            request_id=self._ids,
+        )
+        future = Future(name=f"rmw.{self._ids}")
+        self._waits[request.request_id] = future
+        self.machine.network.send(
+            Message(
+                src=node.id,
+                dst=group.root,
+                kind="rmw.request",
+                payload=request,
+                size_bytes=self.machine.params.packet_bytes,
+            )
+        )
+        old = yield future
+        return old
+
+    def test_and_set(
+        self, node: NodeHandle, var: str, set_to: Any, free: Any
+    ) -> Generator[Any, Any, Any]:
+        """Set ``var`` to ``set_to`` iff it equals ``free``; returns old."""
+        return (
+            yield from self._execute(node, OP_TEST_AND_SET, var, set_to, free)
+        )
+
+    def fetch_and_store(
+        self, node: NodeHandle, var: str, value: Any
+    ) -> Generator[Any, Any, Any]:
+        return (yield from self._execute(node, OP_FETCH_AND_STORE, var, value))
+
+    def compare_and_swap(
+        self, node: NodeHandle, var: str, expected: Any, value: Any
+    ) -> Generator[Any, Any, Any]:
+        """Returns the old value; the swap happened iff old == expected."""
+        return (
+            yield from self._execute(node, OP_COMPARE_AND_SWAP, var, value, expected)
+        )
+
+    def fetch_and_add(
+        self, node: NodeHandle, var: str, amount: Any
+    ) -> Generator[Any, Any, Any]:
+        return (yield from self._execute(node, OP_FETCH_AND_ADD, var, amount))
+
+    # ------------------------------------------------------------------
+    # Root side
+    # ------------------------------------------------------------------
+
+    def _on_message(self, node_id: int, msg: Message) -> None:
+        if msg.kind == "rmw.request":
+            self._serve(node_id, msg.payload)
+        elif msg.kind == "rmw.reply":
+            request_id, old = msg.payload
+            self._waits.pop(request_id).resolve(old)
+        else:
+            raise LockError(f"unknown atomic message {msg.kind!r}")
+
+    def _serve(self, root_id: int, request: AtomicRequest) -> None:
+        """Apply the atomic at the root and multicast the new value."""
+        node = self.machine.nodes[root_id]
+        group = node.iface.group_of(request.var)
+        engine = node.iface.root_engines.get(group.name)
+        if engine is None:
+            raise LockError(
+                f"atomic for {request.var!r} arrived at node {root_id}, "
+                f"which does not root group {group.name!r}"
+            )
+        old = engine.authoritative_read(request.var)
+        new = old
+        if request.op == OP_TEST_AND_SET:
+            if old == request.operand2:  # free
+                new = request.operand
+        elif request.op == OP_FETCH_AND_STORE:
+            new = request.operand
+        elif request.op == OP_COMPARE_AND_SWAP:
+            if old == request.operand2:  # expected
+                new = request.operand
+        elif request.op == OP_FETCH_AND_ADD:
+            new = old + request.operand
+        else:
+            raise LockError(f"unknown atomic op {request.op!r}")
+        self.served += 1
+        if new != old:
+            engine.sequence_plain_write(request.var, new, origin=root_id)
+        self.machine.network.send(
+            Message(
+                src=root_id,
+                dst=request.origin,
+                kind="rmw.reply",
+                payload=(request.request_id, old),
+                size_bytes=self.machine.params.packet_bytes,
+            )
+        )

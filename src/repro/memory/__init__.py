@@ -1,0 +1,28 @@
+"""DSM memory substrate.
+
+Per-node local stores (:mod:`repro.memory.store`), shared-variable and
+lock declarations (:mod:`repro.memory.varspace`), sharing groups with
+their root and spanning tree (:mod:`repro.memory.sharing_group`), the
+node-side eagersharing interface with insharing suspension and in-order
+apply (:mod:`repro.memory.interface`), and the paper's Figure-6 hardware
+blocking filter (:mod:`repro.memory.packet_filter`).
+"""
+
+from repro.memory.interface import ApplyPacket, NodeInterface
+from repro.memory.packet_filter import HardwareBlockingFilter
+from repro.memory.sharing_group import SharingGroup
+from repro.memory.store import LocalStore
+from repro.memory.varspace import FREE_VALUE, LockDecl, VarDecl, grant_value, request_value
+
+__all__ = [
+    "ApplyPacket",
+    "FREE_VALUE",
+    "HardwareBlockingFilter",
+    "LocalStore",
+    "LockDecl",
+    "NodeInterface",
+    "SharingGroup",
+    "VarDecl",
+    "grant_value",
+    "request_value",
+]

@@ -1,0 +1,423 @@
+"""The per-node memory sharing interface (the simulated Sesame hardware).
+
+Outbound: :meth:`NodeInterface.share_write` applies a shared write to the
+local store immediately ("without slowing its calculations") and forwards
+an update packet to the group root for sequencing.
+
+Inbound: sequenced apply packets from the root pass through, in order,
+
+1. the **hardware blocking filter** (Figure 6) — root echoes of this
+   node's own mutex-group data are dropped,
+2. the **insharing suspension** gate — while suspended, packets queue and
+   local memory is immune to external changes,
+3. the **apply** step — the value is committed to the local store, and
+4. the **lock-change interrupt** — if an interrupt is armed on a lock
+   variable, applying it atomically engages insharing suspension and
+   invokes the handler (Figure 5's ``intrpt_and_sharing_suspension``).
+
+All four steps happen inside a single simulator event, which is what
+makes the paper's "interrupt is atomically coupled with a suspension of
+insharing" hold by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import MemoryError_, SequencingError
+from repro.memory.packet_filter import HardwareBlockingFilter
+from repro.memory.sharing_group import SharingGroup
+from repro.memory.store import LocalStore
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+#: Callback invoked when an armed lock variable changes: receives the new
+#: lock value.  Insharing is already suspended when it runs.
+LockInterruptHandler = Callable[[Any], None]
+
+
+class _Suppressed:
+    """Sentinel payload of a header-only apply to an unsubscribed member.
+
+    Dynamic disabling of eagersharing (Section 1.1) suppresses the
+    *data* of updates a member said it no longer needs; the sequencing
+    header still flows so the member's in-order apply stream has no
+    gaps.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<suppressed>"
+
+
+#: The shared suppression sentinel.
+SUPPRESSED = _Suppressed()
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateRequest:
+    """Origin -> root packet: one shared write awaiting sequencing."""
+
+    group: str
+    var: str
+    value: Any
+    origin: int
+
+
+@dataclass(frozen=True, slots=True)
+class ApplyPacket:
+    """Root -> member packet: one sequenced shared write."""
+
+    group: str
+    seq: int
+    var: str
+    value: Any
+    origin: int
+    is_mutex_data: bool
+    is_lock: bool
+    #: True on NACK-triggered retransmissions (never dropped by the
+    #: loss model; duplicates of it are tolerated).
+    retransmit: bool = False
+
+
+class NodeInterface:
+    """The memory-sharing hardware interface of one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node: int,
+        store: LocalStore,
+        echo_blocking: bool = True,
+        nack_timeout: float | None = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.node = node
+        self.store = store
+        self.filter = HardwareBlockingFilter(node, enabled=echo_blocking)
+        self.groups: dict[str, SharingGroup] = {}
+        #: Root engines for groups rooted at this node (installed by the
+        #: machine builder); maps group name -> engine with an
+        #: ``on_update(UpdateRequest)`` method.
+        self.root_engines: dict[str, Any] = {}
+        self._next_seq: dict[str, int] = {}
+        self._reorder: dict[str, dict[int, ApplyPacket]] = {}
+        self._suspended = False
+        self._suspended_queue: list[ApplyPacket] = []
+        self._interrupts: dict[str, LockInterruptHandler] = {}
+        #: When set, the reliable-multicast recovery is active: sequence
+        #: gaps older than this many seconds trigger a NACK to the root,
+        #: and duplicate (retransmitted) packets are tolerated.
+        self.nack_timeout = nack_timeout
+        self._gap_check_pending: set[str] = set()
+        #: Diagnostics.
+        self.applied_count = 0
+        self.duplicates_ignored = 0
+        self.nacks_sent = 0
+        self.suppressed_applies = 0
+
+    # ------------------------------------------------------------------
+    # Group membership
+    # ------------------------------------------------------------------
+
+    def join_group(self, group: SharingGroup) -> None:
+        """Install a group's variables into the local store."""
+        if not group.has_member(self.node):
+            raise MemoryError_(
+                f"node {self.node} is not a member of group {group.name!r}"
+            )
+        self.groups[group.name] = group
+        self._next_seq.setdefault(group.name, 0)
+        self._reorder.setdefault(group.name, {})
+        for name, value in group.initial_image().items():
+            self.store.declare(name, value)
+
+    def group_of(self, var: str) -> SharingGroup:
+        """The group declaring variable or lock ``var`` on this node."""
+        for group in self.groups.values():
+            if var in group.variables or var in group.locks:
+                return group
+        raise MemoryError_(f"node {self.node}: no joined group declares {var!r}")
+
+    # ------------------------------------------------------------------
+    # Outbound path
+    # ------------------------------------------------------------------
+
+    def share_write(self, var: str, value: Any) -> None:
+        """Eagerly share a write: apply locally, forward to the group root."""
+        group = self.group_of(var)
+        self.store.write(var, value)
+        self._forward_to_root(group, var, value)
+
+    def atomic_exchange(self, var: str, value: Any) -> Any:
+        """Atomically swap the local copy with ``value``; share the write.
+
+        This is line (04) of Figure 4: requesting the lock and saving the
+        previous local lock value access the same memory location within
+        one simulator event, so no incoming lock change can interleave.
+        """
+        group = self.group_of(var)
+        old = self.store.read(var)
+        self.store.write(var, value)
+        self._forward_to_root(group, var, value)
+        return old
+
+    def _forward_to_root(self, group: SharingGroup, var: str, value: Any) -> None:
+        request = UpdateRequest(
+            group=group.name, var=var, value=value, origin=self.node
+        )
+        self.network.send(
+            Message(
+                src=self.node,
+                dst=group.root,
+                kind="gwc.update",
+                payload=request,
+                size_bytes=group.wire_bytes(var, self.network.params.packet_bytes),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic disabling of eagersharing (Section 1.1)
+    # ------------------------------------------------------------------
+
+    def unsubscribe(self, var: str) -> None:
+        """Stop receiving this variable's values (header-only applies).
+
+        "Dynamic disabling of eagersharing can avoid some costs" — a
+        node that no longer reads a variable tells the root, which then
+        sends it sequencing headers without the payload.  Lock variables
+        and mutex-protected data cannot be unsubscribed: their values
+        drive the synchronization protocol.
+        """
+        group = self.group_of(var)
+        if group.is_lock(var) or group.var_decl(var).is_mutex_data:
+            raise MemoryError_(
+                f"node {self.node}: cannot unsubscribe synchronization "
+                f"variable {var!r}"
+            )
+        self.network.send(
+            Message(
+                src=self.node,
+                dst=group.root,
+                kind="gwc.unsub",
+                payload=(group.name, var, self.node),
+                size_bytes=self.network.params.packet_bytes,
+            )
+        )
+
+    def resubscribe(self, var: str) -> None:
+        """Resume eagersharing; the root refreshes the current value."""
+        group = self.group_of(var)
+        self.network.send(
+            Message(
+                src=self.node,
+                dst=group.root,
+                kind="gwc.resub",
+                payload=(group.name, var, self.node),
+                size_bytes=self.network.params.packet_bytes,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Insharing suspension and lock interrupts
+    # ------------------------------------------------------------------
+
+    @property
+    def insharing_suspended(self) -> bool:
+        return self._suspended
+
+    @property
+    def pending_suspended(self) -> int:
+        return len(self._suspended_queue)
+
+    def suspend_insharing(self) -> None:
+        self._suspended = True
+
+    def resume_insharing(self) -> None:
+        """Lift suspension and drain queued packets in arrival order.
+
+        Draining stops immediately if one of the drained packets is an
+        armed lock change — applying it re-engages suspension (the
+        atomic interrupt), and the rest of the queue waits for the next
+        resume.
+        """
+        self._suspended = False
+        while self._suspended_queue and not self._suspended:
+            packet = self._suspended_queue.pop(0)
+            self._process(packet)
+
+    def arm_lock_interrupt(self, lock: str, handler: LockInterruptHandler) -> None:
+        """Enable Figure 5's interrupt-and-sharing-suspension on a lock."""
+        self._interrupts[lock] = handler
+
+    def disarm_lock_interrupt(self, lock: str) -> None:
+        self._interrupts.pop(lock, None)
+
+    def interrupt_armed(self, lock: str) -> bool:
+        return lock in self._interrupts
+
+    # ------------------------------------------------------------------
+    # Inbound path
+    # ------------------------------------------------------------------
+
+    def on_message(self, msg: Message) -> None:
+        """Network delivery entry point for GWC traffic."""
+        if msg.kind == "gwc.update":
+            engine = self.root_engines.get(msg.payload.group)
+            if engine is None:
+                raise MemoryError_(
+                    f"node {self.node} received an update for group "
+                    f"{msg.payload.group!r} it does not root"
+                )
+            engine.on_update(msg.payload)
+        elif msg.kind == "gwc.apply":
+            self._receive(msg.payload)
+        elif msg.kind == "gwc.nack":
+            group_name, from_seq, member = msg.payload
+            engine = self.root_engines.get(group_name)
+            if engine is None:
+                raise MemoryError_(
+                    f"node {self.node} got a NACK for group {group_name!r} "
+                    "it does not root"
+                )
+            engine.on_nack(member, from_seq)
+        elif msg.kind == "gwc.heartbeat":
+            self._on_heartbeat(*msg.payload)
+        elif msg.kind in ("gwc.unsub", "gwc.resub"):
+            group_name, var, member = msg.payload
+            engine = self.root_engines.get(group_name)
+            if engine is None:
+                raise MemoryError_(
+                    f"node {self.node} got a subscription change for group "
+                    f"{group_name!r} it does not root"
+                )
+            if msg.kind == "gwc.unsub":
+                engine.on_unsubscribe(var, member)
+            else:
+                engine.on_resubscribe(var, member)
+        else:
+            raise MemoryError_(f"node {self.node}: unknown message kind {msg.kind!r}")
+
+    def _receive(self, packet: ApplyPacket) -> None:
+        """Order-check an arriving packet, then process in-sequence ones."""
+        expected = self._next_seq.get(packet.group)
+        if expected is None:
+            raise MemoryError_(
+                f"node {self.node} got apply for unjoined group {packet.group!r}"
+            )
+        if packet.seq < expected:
+            if self.nack_timeout is not None or packet.retransmit:
+                # A retransmission raced the original (or a repeated
+                # NACK over-fetched); in-order delivery already happened.
+                self.duplicates_ignored += 1
+                return
+            raise SequencingError(
+                f"node {self.node} group {packet.group!r}: duplicate seq "
+                f"{packet.seq} (expected {expected})"
+            )
+        reorder = self._reorder[packet.group]
+        reorder[packet.seq] = packet
+        while self._next_seq[packet.group] in reorder:
+            next_packet = reorder.pop(self._next_seq[packet.group])
+            self._next_seq[packet.group] += 1
+            if self._suspended:
+                self._suspended_queue.append(next_packet)
+            else:
+                self._process(next_packet)
+        if reorder and self.nack_timeout is not None:
+            self._schedule_gap_check(packet.group)
+
+    # ------------------------------------------------------------------
+    # Reliable-multicast recovery (NACK + heartbeat)
+    # ------------------------------------------------------------------
+
+    def _schedule_gap_check(self, group: str) -> None:
+        if group in self._gap_check_pending:
+            return
+        self._gap_check_pending.add(group)
+        expected_at_schedule = self._next_seq[group]
+        self.sim.schedule(
+            self.nack_timeout,
+            lambda: self._gap_check(group, expected_at_schedule),
+        )
+
+    def _gap_check(self, group: str, expected_at_schedule: int) -> None:
+        self._gap_check_pending.discard(group)
+        if not self._reorder[group]:
+            return
+        if self._next_seq[group] > expected_at_schedule:
+            # Progress was made; give the stream another timeout before
+            # declaring the remaining gap lost.
+            self._schedule_gap_check(group)
+            return
+        self._send_nack(group)
+        self._schedule_gap_check(group)
+
+    def _send_nack(self, group: str) -> None:
+        self.nacks_sent += 1
+        root = self.groups[group].root
+        self.network.send(
+            Message(
+                src=self.node,
+                dst=root,
+                kind="gwc.nack",
+                payload=(group, self._next_seq[group], self.node),
+                size_bytes=self.network.params.packet_bytes,
+            )
+        )
+        if self.sim.tracer.enabled:
+            self.sim.tracer.record(
+                self.sim.now,
+                "iface.nack",
+                node=self.node,
+                group=group,
+                from_seq=self._next_seq[group],
+            )
+
+    def _on_heartbeat(self, group: str, latest_seq: int) -> None:
+        """Root heartbeat: detect tail loss (a gap nothing follows)."""
+        if self.nack_timeout is None or group not in self._next_seq:
+            return
+        if self._next_seq[group] <= latest_seq:
+            self._send_nack(group)
+
+    def _process(self, packet: ApplyPacket) -> None:
+        """Filter, apply, and possibly interrupt — one in-order packet."""
+        if packet.value is SUPPRESSED:
+            # A header-only apply to an unsubscribed member: the sequence
+            # number is consumed, the stale local value stays.
+            self.suppressed_applies += 1
+            return
+        if self.filter.should_drop(
+            packet.origin, packet.is_mutex_data, packet.is_lock
+        ):
+            if self.sim.tracer.enabled:
+                self.sim.tracer.record(
+                    self.sim.now,
+                    "iface.echo_dropped",
+                    node=self.node,
+                    var=packet.var,
+                    seq=packet.seq,
+                )
+            return
+        self.store.write(packet.var, packet.value)
+        self.applied_count += 1
+        if packet.is_lock:
+            handler = self._interrupts.pop(packet.var, None)
+            if handler is not None:
+                # Atomic with the apply: same simulator event.
+                self._suspended = True
+                if self.sim.tracer.enabled:
+                    self.sim.tracer.record(
+                        self.sim.now,
+                        "iface.lock_interrupt",
+                        node=self.node,
+                        lock=packet.var,
+                        value=packet.value,
+                    )
+                handler(packet.value)

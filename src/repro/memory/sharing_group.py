@@ -1,0 +1,126 @@
+"""Sharing groups: the unit of eagersharing and write ordering.
+
+A sharing group is a set of member nodes, one of which is the **group
+root**.  The root is simultaneously (Section 4 of the paper):
+
+1. the *sequencing arbiter* for all shared writes in the group,
+2. the *lock manager* for every lock variable in the group, and
+3. the gatekeeper that *discards* speculative mutex-data writes from
+   nodes that do not hold the corresponding lock.
+
+"Compiler tools can aggregate related variables and locks into the same
+sharing group" — here the aggregation is explicit: variables and locks
+are declared on the group.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GroupMembershipError, MemoryError_
+from repro.memory.varspace import FREE_VALUE, LockDecl, VarDecl
+from repro.net.multicast import MulticastTree
+from repro.net.network import Network
+
+
+class SharingGroup:
+    """Declarations and membership for one eagersharing group."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        members: tuple[int, ...],
+        root: int,
+    ) -> None:
+        if root not in members:
+            raise GroupMembershipError(
+                f"group {name!r}: root {root} must be a member of {members}"
+            )
+        if len(set(members)) != len(members):
+            raise GroupMembershipError(f"group {name!r}: duplicate members")
+        self.name = name
+        self.members = tuple(sorted(members))
+        self.root = root
+        self.tree = MulticastTree(network, root, self.members)
+        self.variables: dict[str, VarDecl] = {}
+        self.locks: dict[str, LockDecl] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"SharingGroup({self.name!r}, root={self.root}, "
+            f"members={len(self.members)}, vars={len(self.variables)}, "
+            f"locks={len(self.locks)})"
+        )
+
+    def has_member(self, node: int) -> bool:
+        return node in set(self.members)
+
+    def declare_variable(self, decl: VarDecl) -> VarDecl:
+        """Register a shared variable on this group."""
+        if decl.group != self.name:
+            raise MemoryError_(
+                f"variable {decl.name!r} declared for group {decl.group!r}, "
+                f"not {self.name!r}"
+            )
+        if decl.name in self.variables or decl.name in self.locks:
+            raise MemoryError_(f"name {decl.name!r} already declared in group")
+        self.variables[decl.name] = decl
+        return decl
+
+    def declare_lock(self, decl: LockDecl) -> LockDecl:
+        """Register a lock variable; its protected variables must exist."""
+        if decl.group != self.name:
+            raise MemoryError_(
+                f"lock {decl.name!r} declared for group {decl.group!r}, "
+                f"not {self.name!r}"
+            )
+        if decl.name in self.locks or decl.name in self.variables:
+            raise MemoryError_(f"name {decl.name!r} already declared in group")
+        for var in decl.protects:
+            existing = self.variables.get(var)
+            if existing is None:
+                raise MemoryError_(
+                    f"lock {decl.name!r} protects undeclared variable {var!r}"
+                )
+            if existing.mutex_lock != decl.name:
+                raise MemoryError_(
+                    f"variable {var!r} must be declared with "
+                    f"mutex_lock={decl.name!r} to be protected by it"
+                )
+        self.locks[decl.name] = decl
+        return decl
+
+    def is_lock(self, name: str) -> bool:
+        return name in self.locks
+
+    def var_decl(self, name: str) -> VarDecl:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise MemoryError_(
+                f"group {self.name!r} has no variable {name!r}"
+            ) from None
+
+    def lock_decl(self, name: str) -> LockDecl:
+        try:
+            return self.locks[name]
+        except KeyError:
+            raise MemoryError_(f"group {self.name!r} has no lock {name!r}") from None
+
+    def wire_bytes(self, name: str, packet_bytes: int) -> int:
+        """Wire size of one update packet for variable or lock ``name``.
+
+        Lock values are a single word and ride in the bare packet; data
+        variables add their declared payload size.
+        """
+        if name in self.locks:
+            return packet_bytes
+        return packet_bytes + self.var_decl(name).size_bytes
+
+    def initial_image(self) -> dict[str, object]:
+        """Initial (name -> value) image for a member's local store."""
+        image: dict[str, object] = {
+            decl.name: decl.initial for decl in self.variables.values()
+        }
+        for lock in self.locks.values():
+            image[lock.name] = FREE_VALUE
+        return image

@@ -1,0 +1,94 @@
+"""Per-node local memory.
+
+Every node holds a private copy of every shared variable of every group
+it belongs to — that is the essence of eagersharing: reads are always
+local.  The store also fires a per-variable :class:`~repro.sim.waiters.Signal`
+on each committed write so simulated processes can sleep until a value
+they care about changes (instead of polling).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.errors import UnknownVariableError
+from repro.sim.waiters import Signal
+
+
+class LocalStore:
+    """One node's local memory image of the shared variable space."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._values: dict[str, Any] = {}
+        self._signals: dict[str, Signal] = {}
+        #: Monotone count of committed writes per variable (diagnostics).
+        self.write_counts: dict[str, int] = {}
+
+    def declare(self, name: str, initial: Any) -> None:
+        """Install a variable with its initial value (idempotent re-init)."""
+        self._values[name] = initial
+        self.write_counts.setdefault(name, 0)
+
+    def knows(self, name: str) -> bool:
+        return name in self._values
+
+    def read(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise UnknownVariableError(
+                f"node {self.node}: variable {name!r} not declared"
+            ) from None
+
+    def write(self, name: str, value: Any) -> None:
+        """Commit a value and wake any waiters on this variable."""
+        if name not in self._values:
+            raise UnknownVariableError(
+                f"node {self.node}: variable {name!r} not declared"
+            )
+        self._values[name] = value
+        self.write_counts[name] = self.write_counts.get(name, 0) + 1
+        signal = self._signals.get(name)
+        if signal is not None:
+            signal.fire(value)
+
+    def signal_for(self, name: str) -> Signal:
+        """The change signal for a variable (created on first use)."""
+        if name not in self._values:
+            raise UnknownVariableError(
+                f"node {self.node}: variable {name!r} not declared"
+            )
+        signal = self._signals.get(name)
+        if signal is None:
+            signal = Signal(name=f"n{self.node}.{name}")
+            self._signals[name] = signal
+        return signal
+
+    def wait_until(
+        self, name: str, predicate: Callable[[Any], bool]
+    ) -> Generator[Any, Any, Any]:
+        """Process helper: wait until ``predicate(value)`` holds.
+
+        Checks the current value first, so an already-true predicate does
+        not wait at all.  Re-reads the store after every wake-up (rather
+        than trusting the fired payload) because several sequenced applies
+        can land between the signal fire and the process resuming; the
+        store always holds the latest committed value.  Returns the
+        satisfying value.
+        """
+        value = self.read(name)
+        signal = self.signal_for(name)
+        while not predicate(value):
+            yield signal
+            value = self.read(name)
+        return value
+
+    def snapshot(self, names: tuple[str, ...] | list[str]) -> dict[str, Any]:
+        """Copy of the named variables (for rollback saving)."""
+        return {name: self.read(name) for name in names}
+
+    def restore(self, saved: dict[str, Any]) -> None:
+        """Write back a snapshot taken with :meth:`snapshot`."""
+        for name, value in saved.items():
+            self.write(name, value)

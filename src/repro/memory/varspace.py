@@ -1,0 +1,100 @@
+"""Shared-variable and lock declarations.
+
+Lock value encoding follows Section 2 of the paper:
+
+* Each lock is initially a **unique negative number not matching any
+  (negated) processor number** — the paper writes it ``-99..99``; we use
+  :data:`FREE_VALUE`.
+* A processor **requests** the lock by writing the *negation* of its own
+  processor number; node ids are 0-based here, so node ``n`` requests
+  with ``-(n + 1)`` (the ``+1`` avoids the sign-less 0).
+* The root **grants** by writing the *positive* processor number
+  ``n + 1``; when a node sees its own positive id arrive in the lock
+  value, it holds the lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LockError, MemoryError_
+
+#: The paper's "-99..99" free marker: a negative value that can never be
+#: a negated node id.
+FREE_VALUE = -999_999_999
+
+
+def request_value(node: int) -> int:
+    """Lock value written by ``node`` to request exclusive access."""
+    if node < 0:
+        raise LockError(f"node id must be >= 0: {node}")
+    return -(node + 1)
+
+
+def grant_value(node: int) -> int:
+    """Lock value written by the root to grant ``node`` exclusive access."""
+    if node < 0:
+        raise LockError(f"node id must be >= 0: {node}")
+    return node + 1
+
+
+def holder_of(lock_value: int) -> int | None:
+    """The node currently granted the lock, or None if free/pending."""
+    if lock_value > 0:
+        return lock_value - 1
+    return None
+
+
+def requester_of(lock_value: int) -> int | None:
+    """The node whose request this lock value encodes, or None."""
+    if lock_value < 0 and lock_value != FREE_VALUE:
+        return -lock_value - 1
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class VarDecl:
+    """Declaration of one eagerly shared variable.
+
+    Attributes:
+        name: Globally unique variable name.
+        group: Name of the sharing group the variable belongs to.
+        initial: Initial value installed in every member's local store.
+        size_bytes: Payload size used for wire-delay purposes.
+        mutex_lock: Name of the lock protecting this variable, or None.
+            Variables with a ``mutex_lock`` form that lock's *mutex group*:
+            the root discards their updates from non-holders and origins
+            drop their own echoes (Figure 6).
+    """
+
+    name: str
+    group: str
+    initial: object = 0
+    size_bytes: int = 8
+    mutex_lock: str | None = None
+
+    @property
+    def is_mutex_data(self) -> bool:
+        return self.mutex_lock is not None
+
+
+@dataclass(frozen=True, slots=True)
+class LockDecl:
+    """Declaration of one lock variable.
+
+    Attributes:
+        name: Globally unique lock (variable) name.
+        group: Sharing group whose root manages the lock.
+        protects: Names of the variables in this lock's mutex group.
+        data_bytes: Total size of the guarded data, used by the entry
+            consistency comparator which ships the data with each grant.
+    """
+
+    name: str
+    group: str
+    protects: tuple[str, ...] = field(default_factory=tuple)
+    data_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if len(set(self.protects)) != len(self.protects):
+            raise MemoryError_(f"lock {self.name!r} protects duplicate variables")

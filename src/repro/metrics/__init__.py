@@ -1,0 +1,16 @@
+"""Measurement: per-node time accounting and derived speedup metrics."""
+
+from repro.metrics.ascii_chart import render_chart
+from repro.metrics.collector import MachineMetrics, NodeMetrics
+from repro.metrics.report import format_table
+from repro.metrics.speedup import efficiency, network_power, speedup
+
+__all__ = [
+    "MachineMetrics",
+    "NodeMetrics",
+    "efficiency",
+    "format_table",
+    "network_power",
+    "render_chart",
+    "speedup",
+]

@@ -1,0 +1,100 @@
+"""ASCII line charts for experiment output.
+
+The figure harness prints tables; for a quick visual read of the curve
+shapes (the thing the paper's figures actually show), this module draws
+multi-series scatter/line charts on a character grid — no plotting
+dependencies.
+
+Each series gets a marker character; points landing on the same cell
+show the *later* series' marker.  Axes are annotated with min/max and
+the x positions of the data columns.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ExperimentError
+
+#: Markers assigned to series, in declaration order.
+MARKERS = "o*+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    fraction = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, round(fraction * (cells - 1))))
+
+
+def render_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    logx: bool = False,
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Args:
+        series: Mapping of series name to points; all series share axes.
+        width: Plot-area width in characters.
+        height: Plot-area height in rows.
+        title: Optional heading line.
+        logx: Plot x on a log scale (network-size sweeps double x).
+    """
+    if not series:
+        raise ExperimentError("chart needs at least one series")
+    if len(series) > len(MARKERS):
+        raise ExperimentError(f"too many series (max {len(MARKERS)})")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ExperimentError("chart needs at least one point")
+
+    import math
+
+    def tx(x: float) -> float:
+        if not logx:
+            return x
+        if x <= 0:
+            raise ExperimentError("log-x chart needs positive x values")
+        return math.log2(x)
+
+    xs = [tx(x) for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, pts) in zip(MARKERS, series.items()):
+        for x, y in pts:
+            col = _scale(tx(x), x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{y_hi:.3g}"
+    y_lo_label = f"{y_lo:.3g}"
+    label_width = max(len(y_hi_label), len(y_lo_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_hi_label.rjust(label_width)
+        elif i == height - 1:
+            label = y_lo_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_lo_raw = min(x for x, _ in points)
+    x_hi_raw = max(x for x, _ in points)
+    x_line = f"{x_lo_raw:.3g}".ljust(width - 6) + f"{x_hi_raw:.3g}".rjust(6)
+    lines.append(" " * label_width + "  " + x_line)
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Per-node and machine-wide time accounting.
+
+Each simulated processor's wall-clock is split into four buckets:
+
+* **useful** — application work (the only time that counts as "peak
+  processor speed" in the paper's efficiency metric);
+* **overhead** — protocol work (rollback saves/restores, data shipping);
+* **wasted** — speculative computation that was rolled back;
+* **idle** — everything else: waiting for locks, data, or tasks.
+
+Counters record protocol events (acquires, rollbacks, discards, ...).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class NodeMetrics:
+    """Time buckets and event counters for one simulated processor."""
+
+    node: int
+    useful: float = 0.0
+    overhead: float = 0.0
+    wasted: float = 0.0
+    counters: Counter = field(default_factory=Counter)
+    #: When enabled (see :meth:`record_spans`), every accounted busy
+    #: interval as ``(start, end, kind)`` — the raw material for
+    #: Figure-1-style timeline rendering.
+    spans: "list[tuple[float, float, str]] | None" = None
+
+    def record_spans(self) -> None:
+        """Start keeping per-interval records (off by default: memory)."""
+        if self.spans is None:
+            self.spans = []
+
+    def add_time(self, kind: str, seconds: float, end: float | None = None) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative time: {seconds}")
+        if kind == "useful":
+            self.useful += seconds
+        elif kind == "overhead":
+            self.overhead += seconds
+        elif kind == "wasted":
+            self.wasted += seconds
+        else:
+            raise ValueError(f"unknown time bucket {kind!r}")
+        if self.spans is not None and end is not None and seconds > 0:
+            self.spans.append((end - seconds, end, kind))
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def idle(self, elapsed: float) -> float:
+        """Idle time implied by the run's elapsed wall-clock."""
+        return max(0.0, elapsed - self.useful - self.overhead - self.wasted)
+
+    def efficiency(self, elapsed: float) -> float:
+        """Fraction of elapsed time spent on useful work."""
+        if elapsed <= 0:
+            return 0.0
+        return self.useful / elapsed
+
+
+class MachineMetrics:
+    """Aggregates :class:`NodeMetrics` across a machine."""
+
+    def __init__(self, n_nodes: int) -> None:
+        self.nodes = [NodeMetrics(node=i) for i in range(n_nodes)]
+        #: Set by the workload runner when the simulation completes.
+        self.elapsed: float = 0.0
+
+    def __getitem__(self, node: int) -> NodeMetrics:
+        return self.nodes[node]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def total_useful(self) -> float:
+        return sum(n.useful for n in self.nodes)
+
+    def total_wasted(self) -> float:
+        return sum(n.wasted for n in self.nodes)
+
+    def total_counter(self, name: str) -> int:
+        return sum(n.counters.get(name, 0) for n in self.nodes)
+
+    def average_efficiency(self) -> float:
+        if not self.nodes or self.elapsed <= 0:
+            return 0.0
+        return sum(n.efficiency(self.elapsed) for n in self.nodes) / len(self.nodes)
+
+    def speedup(self) -> float:
+        """The paper's speedup: average processor efficiency times size.
+
+        Equivalently total useful work divided by elapsed time.
+        """
+        if self.elapsed <= 0:
+            return 0.0
+        return self.total_useful() / self.elapsed
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "elapsed": self.elapsed,
+            "useful": self.total_useful(),
+            "wasted": self.total_wasted(),
+            "speedup": self.speedup(),
+            "efficiency": self.average_efficiency(),
+        }

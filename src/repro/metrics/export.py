@@ -1,0 +1,70 @@
+"""CSV export for experiment rows.
+
+The benchmark harness archives human-readable tables; this module
+additionally emits machine-readable CSV so the series can be re-plotted
+with external tooling.  Rows may be dataclasses, mappings, or plain
+sequences.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import pathlib
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ExperimentError
+
+
+def _row_to_dict(row: Any) -> dict[str, Any]:
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        return dataclasses.asdict(row)
+    if isinstance(row, dict):
+        return dict(row)
+    raise ExperimentError(
+        f"cannot export row of type {type(row).__name__}; pass dataclasses "
+        "or dicts (or use to_csv_columns for plain sequences)"
+    )
+
+
+def to_csv(rows: Iterable[Any]) -> str:
+    """Render dataclass/dict rows as CSV text (header from field names)."""
+    dict_rows = [_row_to_dict(row) for row in rows]
+    if not dict_rows:
+        raise ExperimentError("no rows to export")
+    fieldnames = list(dict_rows[0])
+    for row in dict_rows:
+        if list(row) != fieldnames:
+            raise ExperimentError("rows have inconsistent fields")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    writer.writerows(dict_rows)
+    return buffer.getvalue()
+
+
+def to_csv_columns(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render header + positional rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    count = 0
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        writer.writerow(list(row))
+        count += 1
+    if count == 0:
+        raise ExperimentError("no rows to export")
+    return buffer.getvalue()
+
+
+def write_csv(path: str | pathlib.Path, rows: Iterable[Any]) -> pathlib.Path:
+    """Write dataclass/dict rows to a CSV file; returns the path."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_csv(rows))
+    return target

@@ -1,0 +1,42 @@
+"""Derived performance metrics used by the paper's figures.
+
+The paper uses two equivalent phrasings:
+
+* *Speedup* (Figure 2): "average processor efficiency times network size".
+* *Network power* (Figure 8): "the product of average sustained efficiency
+  on each processor times the number of processors".
+
+Both equal total useful work divided by elapsed time.
+"""
+
+from __future__ import annotations
+
+
+def efficiency(useful: float, elapsed: float) -> float:
+    """Fraction of elapsed wall-clock one processor spent on useful work."""
+    if elapsed <= 0:
+        return 0.0
+    if useful < 0:
+        raise ValueError(f"useful time must be >= 0: {useful}")
+    return useful / elapsed
+
+
+def speedup(total_useful: float, elapsed: float) -> float:
+    """Total useful work across all processors divided by elapsed time."""
+    if elapsed <= 0:
+        return 0.0
+    if total_useful < 0:
+        raise ValueError(f"useful time must be >= 0: {total_useful}")
+    return total_useful / elapsed
+
+
+def network_power(total_useful: float, elapsed: float) -> float:
+    """The paper's Figure-8 metric; identical to :func:`speedup`."""
+    return speedup(total_useful, elapsed)
+
+
+def relative_gain(a: float, b: float) -> float:
+    """How many times faster ``a`` is than ``b`` (paper's "N.N times")."""
+    if b <= 0:
+        raise ValueError(f"baseline must be positive: {b}")
+    return a / b

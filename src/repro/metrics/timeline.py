@@ -1,0 +1,89 @@
+"""Figure-1-style ASCII timelines.
+
+The paper's Figure 1 is a timing diagram: one lane per CPU showing when
+it computes, when it idles waiting for a lock, and when it holds the
+critical section.  :func:`render_timeline` regenerates that form from a
+machine's recorded spans and the checker's lock-occupancy records.
+
+Lane characters:
+
+* ``#`` — useful computation
+* ``o`` — protocol overhead (rollback saves, context-switch costs)
+* ``x`` — wasted (rolled-back) speculation
+* ``.`` — idle (waiting for a lock, data, or a task)
+* a ``=`` overlay row under each lane marks when that node held a lock.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.checker import MutualExclusionChecker
+from repro.errors import ExperimentError
+
+_KIND_CHARS = {"useful": "#", "overhead": "o", "wasted": "x"}
+
+
+def _paint(
+    lane: list[str], start: float, end: float, t_end: float, width: int, char: str
+) -> None:
+    if t_end <= 0 or end <= start:
+        return
+    first = int(start / t_end * width)
+    last = max(first, int(end / t_end * width) - 1)
+    for col in range(first, min(last, width - 1) + 1):
+        # Wasted overrides overhead overrides useful (worst wins).
+        current = lane[col]
+        if char == "x" or current == "." or (char == "o" and current == "#"):
+            lane[col] = char
+
+
+def render_timeline(
+    machine: "DSMMachine",  # noqa: F821
+    width: int = 72,
+    title: str | None = None,
+    lock: str | None = None,
+) -> str:
+    """Render each node's activity over the run as one lane.
+
+    Requires that span recording was enabled before the run
+    (``machine.enable_span_recording()``); lock-hold overlays need the
+    machine's checker.
+    """
+    t_end = machine.metrics.elapsed
+    if t_end <= 0:
+        raise ExperimentError("run the machine before rendering its timeline")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"0 us {'-' * max(0, width - 16)} {t_end * 1e6:.2f} us"
+    )
+    checker: MutualExclusionChecker | None = machine.checker
+    for node in machine.nodes:
+        spans = node.metrics.spans
+        if spans is None:
+            raise ExperimentError(
+                "span recording was not enabled; call "
+                "machine.enable_span_recording() before running"
+            )
+        lane = ["."] * width
+        for start, end, kind in spans:
+            _paint(lane, start, end, t_end, width, _KIND_CHARS.get(kind, "?"))
+        lines.append(f"cpu{node.id:<2d} |{''.join(lane)}|")
+        if checker is not None:
+            hold = [" "] * width
+            for span in checker.spans:
+                if span.node != node.id:
+                    continue
+                if lock is not None and span.lock != lock:
+                    continue
+                _paint(hold, span.enter, span.exit, t_end, width, "=")
+                # _paint respects the worst-wins rule for lane chars;
+                # for the hold row just force the overlay.
+                first = int(span.enter / t_end * width)
+                last = max(first, int(span.exit / t_end * width) - 1)
+                for col in range(first, min(last, width - 1) + 1):
+                    hold[col] = "="
+            if any(ch == "=" for ch in hold):
+                lines.append(f"      |{''.join(hold)}| lock held")
+    lines.append("legend: # useful   o overhead   x wasted   . idle   = in section")
+    return "\n".join(lines)

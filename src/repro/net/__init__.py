@@ -1,0 +1,36 @@
+"""Simulated interconnect substrate.
+
+Provides the square-mesh-torus topology the paper evaluates on (plus ring,
+star, and fully-connected alternatives for testing), BFS spanning trees
+for group multicast, and a :class:`~repro.net.network.Network` that
+delivers messages with the paper's delay model (200 ns per hop plus
+1 Gb/s link serialization) while preserving FIFO order per channel.
+"""
+
+from repro.net.message import Message
+from repro.net.multicast import MulticastTree
+from repro.net.network import ChannelStats, Network
+from repro.net.spanning_tree import SpanningTree, build_bfs_tree
+from repro.net.topology import (
+    FullyConnected,
+    MeshTorus,
+    Ring,
+    Star,
+    Topology,
+    make_topology,
+)
+
+__all__ = [
+    "ChannelStats",
+    "FullyConnected",
+    "MeshTorus",
+    "Message",
+    "MulticastTree",
+    "Network",
+    "Ring",
+    "SpanningTree",
+    "Star",
+    "Topology",
+    "build_bfs_tree",
+    "make_topology",
+]

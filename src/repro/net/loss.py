@@ -1,0 +1,58 @@
+"""Message-loss injection.
+
+The Sesame interfaces implement "a *reliable* tree-based multicast
+protocol ... to route, to sequence, and to retransmit all hidden sharing
+messages" — reliability is part of the hardware's contract.  To test the
+retransmission machinery (and to let experiments study lossy fabrics), a
+:class:`LossModel` can be attached to the network: it drops a seeded
+random fraction of the *sequenced apply* traffic, which the receivers'
+gap detection then recovers via NACKs to the group root.
+
+Only multicast apply packets are dropped by default: the paper's
+recovery story is about the distribution tree.  Control traffic (origin
+-> root updates, NACKs, retransmissions) rides reliable channels.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import NetworkError
+from repro.net.message import Message
+
+#: Message kinds subject to loss by default.
+DEFAULT_LOSSY_KINDS = frozenset({"gwc.apply"})
+
+
+class LossModel:
+    """Seeded random dropper for selected message kinds."""
+
+    def __init__(
+        self,
+        rate: float,
+        rng: random.Random,
+        lossy_kinds: frozenset[str] = DEFAULT_LOSSY_KINDS,
+    ) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise NetworkError(f"loss rate must be in [0, 1): {rate}")
+        self.rate = rate
+        self.rng = rng
+        self.lossy_kinds = lossy_kinds
+        #: Count of messages dropped (diagnostics / tests).
+        self.dropped = 0
+
+    def should_drop(self, msg: Message) -> bool:
+        if self.rate <= 0.0 or msg.kind not in self.lossy_kinds:
+            return False
+        # A node's loopback to itself never crosses a link — and the
+        # root cannot NACK itself, so dropping it would be unrecoverable.
+        if msg.src == msg.dst:
+            return False
+        # Never drop a retransmission: the paper's tree protocol treats
+        # recovery traffic as reliable, and tests need bounded recovery.
+        if getattr(msg.payload, "retransmit", False):
+            return False
+        if self.rng.random() < self.rate:
+            self.dropped += 1
+            return True
+        return False

@@ -1,0 +1,45 @@
+"""Messages carried by the simulated network.
+
+Higher layers (the DSM memory substrate, lock protocols) subclass or
+instantiate :class:`Message` with a ``kind`` tag; the network only needs
+source, destination, and size to compute delays and statistics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.params import DEFAULT_PACKET_BYTES
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(slots=True)
+class Message:
+    """One network message.
+
+    Attributes:
+        src: Sending node id.
+        dst: Receiving node id.
+        kind: Protocol tag, e.g. ``"update"``, ``"lock_request"``.
+        payload: Arbitrary protocol data (not interpreted by the network).
+        size_bytes: Wire size used for serialization delay.
+        msg_id: Unique id assigned at construction (for tracing).
+        sent_at: Stamped by the network when the message enters a channel.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = None
+    size_bytes: int = DEFAULT_PACKET_BYTES
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    sent_at: float = float("nan")
+
+    def __str__(self) -> str:
+        return (
+            f"Message#{self.msg_id}({self.kind} {self.src}->{self.dst}, "
+            f"{self.size_bytes}B)"
+        )

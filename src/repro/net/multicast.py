@@ -1,0 +1,68 @@
+"""Reliable, sequenced group multicast from the group root.
+
+The group root is the sequencing arbiter for all shared writes in its
+group.  :class:`MulticastTree` sends each sequenced packet from the root
+toward every member along the group's spanning tree.  Delivery to a
+member takes the tree-path wire time; FIFO channels plus monotonically
+increasing sequence numbers give every member the same total order —
+which is precisely the group write consistency guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.spanning_tree import SpanningTree, build_bfs_tree
+
+
+class MulticastTree:
+    """Root-sequenced multicast over a sharing group's spanning tree."""
+
+    def __init__(self, network: Network, root: int, members: tuple[int, ...]) -> None:
+        self.network = network
+        self.root = root
+        self.tree: SpanningTree = build_bfs_tree(network.topology, root, members)
+        self._next_seq = 0
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return self.tree.members
+
+    def next_sequence(self) -> int:
+        """Allocate the next group-global sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def multicast(
+        self,
+        kind: str,
+        payload: object,
+        size_bytes: int,
+        include_root: bool = True,
+    ) -> None:
+        """Send one packet from the root to every member.
+
+        The same payload object is shared across per-member messages;
+        receivers must treat it as read-only.
+
+        Args:
+            kind: Message kind tag.
+            payload: Protocol payload delivered to each member.
+            size_bytes: Wire size of each per-member message.
+            include_root: Whether the root delivers the packet to itself
+                as well (it does for data echoes; it already acted on lock
+                state locally).
+        """
+        for member in self.members:
+            if member == self.root and not include_root:
+                continue
+            self.network.send(
+                Message(
+                    src=self.root,
+                    dst=member,
+                    kind=kind,
+                    payload=payload,
+                    size_bytes=size_bytes,
+                )
+            )

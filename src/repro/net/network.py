@@ -1,0 +1,123 @@
+"""Point-to-point message delivery with the paper's delay model.
+
+A :class:`Network` owns the topology and the cost parameters.  Sending a
+message from ``a`` to ``b`` costs::
+
+    hops(a, b) * hop_latency  +  size_bytes / link_bandwidth
+
+Channels are FIFO: the network never delivers message *m2* sent after
+*m1* on the same ``(src, dst)`` channel before *m1* arrives, even if *m2*
+is smaller.  Group write consistency's sequencing guarantee is built on
+this property, exactly as Sesame builds it on ordered hardware links.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.net.message import Message
+from repro.net.topology import Topology
+from repro.params import MachineParams
+from repro.sim.kernel import Simulator
+
+#: Handler signature for delivered messages.
+Handler = Callable[[Message], None]
+
+
+@dataclass(slots=True)
+class ChannelStats:
+    """Aggregate traffic counters kept by the network."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: Messages received per node — the load metric that exposes
+    #: hot-spots such as an overloaded global root.
+    inbound: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    outbound: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    def note(self, msg: Message) -> None:
+        self.messages += 1
+        self.bytes += msg.size_bytes
+        self.by_kind[msg.kind] += 1
+        self.outbound[msg.src] += 1
+        self.inbound[msg.dst] += 1
+
+    def hottest_receiver(self) -> tuple[int, int]:
+        """(node, message count) of the most-loaded receiver."""
+        if not self.inbound:
+            return (-1, 0)
+        node = max(self.inbound, key=lambda n: self.inbound[n])
+        return (node, self.inbound[node])
+
+
+class Network:
+    """Delivers :class:`Message` objects between attached node handlers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        params: MachineParams,
+        loss_model: "LossModel | None" = None,  # noqa: F821
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.params = params
+        self.loss_model = loss_model
+        self.stats = ChannelStats()
+        self._handlers: dict[int, Handler] = {}
+        #: Last scheduled arrival per (src, dst) channel, for FIFO clamping.
+        self._last_arrival: dict[tuple[int, int], float] = {}
+
+    def attach(self, node: int, handler: Handler) -> None:
+        """Register the delivery handler for ``node`` (one per node)."""
+        if node in self._handlers:
+            raise NetworkError(f"node {node} already has a handler attached")
+        if not 0 <= node < self.topology.n_nodes:
+            raise NetworkError(f"node {node} not in topology {self.topology!r}")
+        self._handlers[node] = handler
+
+    def delay(self, src: int, dst: int, size_bytes: int) -> float:
+        """Raw transfer delay for a message, before FIFO clamping."""
+        hops = self.topology.hops(src, dst)
+        return self.params.wire_time(size_bytes, hops)
+
+    def send(self, msg: Message) -> float:
+        """Inject ``msg``; returns its scheduled arrival time.
+
+        Local sends (``src == dst``) are delivered with zero wire delay but
+        still go through the event queue so handler re-entrancy is
+        impossible.
+        """
+        if msg.dst not in self._handlers:
+            raise NetworkError(f"no handler attached for destination {msg.dst}")
+        msg.sent_at = self.sim.now
+        self.stats.note(msg)
+
+        arrival = self.sim.now + self.delay(msg.src, msg.dst, msg.size_bytes)
+        if self.loss_model is not None and self.loss_model.should_drop(msg):
+            if self.sim.tracer.enabled:
+                self.sim.tracer.record(
+                    self.sim.now, "net.dropped", msg=str(msg), arrival=arrival
+                )
+            return arrival
+        channel = (msg.src, msg.dst)
+        previous = self._last_arrival.get(channel)
+        if previous is not None and arrival < previous:
+            arrival = previous
+        self._last_arrival[channel] = arrival
+
+        handler = self._handlers[msg.dst]
+        self.sim.at(arrival, lambda: handler(msg))
+        if self.sim.tracer.enabled:
+            self.sim.tracer.record(
+                self.sim.now,
+                "net.send",
+                msg=str(msg),
+                arrival=arrival,
+            )
+        return arrival

@@ -1,0 +1,135 @@
+"""Spanning trees for group multicast.
+
+The Sesame hardware implements "a reliable tree-based multicast protocol"
+per sharing group: one root sequences, routes, and retransmits all
+sharing messages.  :func:`build_bfs_tree` constructs the logical
+distribution tree for a group: a shortest-path tree over the group
+members rooted at the group root, where edge weights are physical hop
+counts from the topology.
+
+Because a direct root-to-member edge is always available at exactly the
+metric distance, the tree preserves the key timing property the
+simulation depends on: the tree-path distance from the root to every
+member equals the topology's shortest-path distance.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.net.topology import Topology
+
+
+@dataclass(slots=True)
+class SpanningTree:
+    """A rooted distribution tree over a set of member nodes.
+
+    Attributes:
+        root: The group root (sequencer / lock manager).
+        parent: Map member -> parent member (root maps to itself).
+        children: Map member -> tuple of child members.
+        depth_hops: Map member -> physical hops from the root along the
+            tree path.
+    """
+
+    root: int
+    parent: dict[int, int]
+    children: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    depth_hops: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return tuple(sorted(self.parent))
+
+    def path_to_root(self, member: int) -> list[int]:
+        """Members on the tree path from ``member`` up to the root."""
+        if member not in self.parent:
+            raise TopologyError(f"node {member} is not in the tree")
+        path = [member]
+        while path[-1] != self.root:
+            path.append(self.parent[path[-1]])
+            if len(path) > len(self.parent) + 1:
+                raise TopologyError("cycle detected in spanning tree")
+        return path
+
+    def validate(self, topology: Topology) -> None:
+        """Check tree invariants; raises :class:`TopologyError` if broken."""
+        if self.parent.get(self.root) != self.root:
+            raise TopologyError("root must be its own parent")
+        for member in self.parent:
+            self.path_to_root(member)  # raises on cycles / disconnection
+        for member, depth in self.depth_hops.items():
+            metric = topology.hops(self.root, member)
+            if depth < metric:
+                raise TopologyError(
+                    f"tree distance {depth} to node {member} beats the "
+                    f"metric shortest path {metric}"
+                )
+
+
+def build_bfs_tree(
+    topology: Topology,
+    root: int,
+    members: tuple[int, ...] | list[int],
+) -> SpanningTree:
+    """Build the group distribution tree rooted at ``root``.
+
+    Runs Dijkstra over the complete graph on ``members`` with hop-count
+    edge weights, breaking ties in favour of fewer tree edges and then
+    lower node ids so tree construction is deterministic.
+    """
+    member_set = set(members)
+    member_set.add(root)
+    ordered = sorted(member_set)
+    if root not in member_set:
+        raise TopologyError(f"root {root} must be a member")
+    for node in ordered:
+        if not 0 <= node < topology.n_nodes:
+            raise TopologyError(f"member {node} not in {topology!r}")
+
+    # Dijkstra state: (distance, tree-edge count, node id) keeps ordering
+    # total and deterministic.
+    dist: dict[int, int] = {root: 0}
+    edges: dict[int, int] = {root: 0}
+    parent: dict[int, int] = {root: root}
+    done: set[int] = set()
+    frontier: list[tuple[int, int, int]] = [(0, 0, root)]
+
+    while frontier:
+        d, e, node = heapq.heappop(frontier)
+        if node in done:
+            continue
+        done.add(node)
+        for other in ordered:
+            if other in done:
+                continue
+            cand = d + topology.hops(node, other)
+            cand_edges = e + 1
+            best = dist.get(other)
+            if (
+                best is None
+                or cand < best
+                or (cand == best and cand_edges < edges[other])
+            ):
+                dist[other] = cand
+                edges[other] = cand_edges
+                parent[other] = node
+                heapq.heappush(frontier, (cand, cand_edges, other))
+
+    missing = member_set - done
+    if missing:
+        raise TopologyError(f"members unreachable from root: {sorted(missing)}")
+
+    children: dict[int, list[int]] = {node: [] for node in ordered}
+    for node in ordered:
+        if node != root:
+            children[parent[node]].append(node)
+
+    return SpanningTree(
+        root=root,
+        parent=parent,
+        children={node: tuple(kids) for node, kids in children.items()},
+        depth_hops=dist,
+    )

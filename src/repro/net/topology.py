@@ -1,0 +1,167 @@
+"""Network topologies.
+
+The paper's evaluation assumes a **square mesh torus** of point-to-point
+links.  :class:`MeshTorus` places ``n`` processors row-major on the
+smallest near-square grid that holds them; grid positions beyond ``n``
+act as pure switches, so every network size (including the paper's
+2^k + 1 sizes such as 129) keeps a near-square diameter.
+
+All topologies expose the same small interface: the number of nodes,
+each node's physical neighbours, and the hop count of the shortest path
+between two nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from functools import lru_cache
+
+from repro.errors import TopologyError
+
+
+class Topology(ABC):
+    """Abstract interconnect graph over nodes ``0 .. n_nodes-1``."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise TopologyError(f"topology needs at least one node: {n_nodes}")
+        self.n_nodes = n_nodes
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise TopologyError(
+                f"node {node} out of range for {self.n_nodes}-node topology"
+            )
+
+    @abstractmethod
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """Processor nodes one hop away from ``node``."""
+
+    @abstractmethod
+    def hops(self, a: int, b: int) -> int:
+        """Length in physical hops of the shortest path from ``a`` to ``b``."""
+
+    def diameter(self) -> int:
+        """The largest shortest-path distance between any node pair."""
+        return max(
+            self.hops(a, b)
+            for a in range(self.n_nodes)
+            for b in range(self.n_nodes)
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_nodes={self.n_nodes})"
+
+
+class MeshTorus(Topology):
+    """A near-square 2-D mesh with wrap-around (torus) links.
+
+    Processors occupy the first ``n_nodes`` positions of a
+    ``rows x cols`` grid in row-major order, with
+    ``rows = round(sqrt(n))`` and ``cols = ceil(n / rows)``.  Positions
+    past ``n_nodes`` contain no processor but their switches still route,
+    so distances are computed on the full grid.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        super().__init__(n_nodes)
+        rows = max(1, round(math.sqrt(n_nodes)))
+        cols = math.ceil(n_nodes / rows)
+        self.rows = rows
+        self.cols = cols
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """Grid (row, col) of a processor node."""
+        self._check(node)
+        return divmod(node, self.cols)
+
+    def _axis_hops(self, a: int, b: int, size: int) -> int:
+        direct = abs(a - b)
+        return min(direct, size - direct)
+
+    def hops(self, a: int, b: int) -> int:
+        ra, ca = self.coords(a)
+        rb, cb = self.coords(b)
+        return self._axis_hops(ra, rb, self.rows) + self._axis_hops(ca, cb, self.cols)
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        row, col = self.coords(node)
+        result = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nr = (row + dr) % self.rows
+            nc = (col + dc) % self.cols
+            other = nr * self.cols + nc
+            if other != node and other < self.n_nodes:
+                result.append(other)
+        # Deduplicate (wrap-around can repeat a neighbour on tiny grids).
+        return tuple(dict.fromkeys(result))
+
+
+class Ring(Topology):
+    """A bidirectional ring."""
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        self._check(node)
+        if self.n_nodes == 1:
+            return ()
+        left = (node - 1) % self.n_nodes
+        right = (node + 1) % self.n_nodes
+        return tuple(dict.fromkeys((left, right)))
+
+    def hops(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        direct = abs(a - b)
+        return min(direct, self.n_nodes - direct)
+
+
+class Star(Topology):
+    """Node 0 is a hub connected to every other node."""
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        self._check(node)
+        if node == 0:
+            return tuple(range(1, self.n_nodes))
+        return (0,)
+
+    def hops(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return 0
+        if a == 0 or b == 0:
+            return 1
+        return 2
+
+
+class FullyConnected(Topology):
+    """Every node pair is directly linked (idealized network)."""
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        self._check(node)
+        return tuple(i for i in range(self.n_nodes) if i != node)
+
+    def hops(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        return 0 if a == b else 1
+
+
+_TOPOLOGIES = {
+    "mesh_torus": MeshTorus,
+    "ring": Ring,
+    "star": Star,
+    "fully_connected": FullyConnected,
+}
+
+
+@lru_cache(maxsize=256)
+def make_topology(kind: str, n_nodes: int) -> Topology:
+    """Build a topology by name (``mesh_torus`` is the paper's network)."""
+    try:
+        cls = _TOPOLOGIES[kind]
+    except KeyError:
+        known = ", ".join(sorted(_TOPOLOGIES))
+        raise TopologyError(f"unknown topology {kind!r}; known: {known}") from None
+    return cls(n_nodes)

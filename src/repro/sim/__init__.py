@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small and deterministic: a binary-heap event
+queue (:mod:`repro.sim.event`), a simulator that drains it
+(:mod:`repro.sim.kernel`), generator-based simulated processes
+(:mod:`repro.sim.process`), waitable primitives
+(:mod:`repro.sim.waiters`), seeded random streams (:mod:`repro.sim.rng`),
+and an event tracer (:mod:`repro.sim.trace`).
+
+Two runs of the same model with the same seed produce identical event
+orders, which the reproduction relies on for regression tests.
+"""
+
+from repro.sim.event import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RngStreams
+from repro.sim.trace import NullTracer, TraceRecord, Tracer
+from repro.sim.waiters import Future, Signal
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Future",
+    "NullTracer",
+    "Process",
+    "RngStreams",
+    "Signal",
+    "Simulator",
+    "TraceRecord",
+    "Tracer",
+]

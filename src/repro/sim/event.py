@@ -1,0 +1,104 @@
+"""Events and the time-ordered event queue.
+
+Events are ordered by ``(time, priority, sequence)``.  The monotonically
+increasing sequence number makes ordering total and deterministic: two
+events scheduled for the same instant fire in the order they were
+scheduled, regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for urgent events (fire before normal events at the same time).
+PRIORITY_URGENT = -1
+#: Priority for lazy events (fire after normal events at the same time).
+PRIORITY_LAZY = 1
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: Simulated time at which the event fires.
+        priority: Tie-break rank for events at the same time (lower first).
+        seq: Scheduling order, the final tie-break.
+        fn: Callback invoked when the event fires.  Excluded from ordering.
+        cancelled: Set by :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``fn`` at ``time`` and return the cancellable event."""
+        if time != time:  # NaN guard
+            raise SimulationError("event time is NaN")
+        event = Event(time=time, priority=priority, seq=next(self._counter), fn=fn)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> float:
+        """Time of the earliest non-cancelled event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            raise SimulationError("peek on empty event queue")
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Inform the queue that one pushed event was cancelled externally.
+
+        :meth:`Event.cancel` does not know which queue holds the event, so
+        callers that cancel should also call this to keep ``len()`` exact.
+        The queue remains correct without it (cancelled events are skipped
+        on pop); only the live count would drift.
+        """
+        if self._live > 0:
+            self._live -= 1

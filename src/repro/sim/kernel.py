@@ -1,0 +1,150 @@
+"""The simulator: a clock plus an event loop.
+
+A :class:`Simulator` drains its :class:`~repro.sim.event.EventQueue` in
+time order, advancing the clock to each event's timestamp.  Simulated
+processes (see :mod:`repro.sim.process`) are layered on top: spawning a
+process schedules its first step as an ordinary event.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+from repro.sim.event import Event, EventQueue, PRIORITY_NORMAL
+from repro.sim.rng import RngStreams
+from repro.sim.trace import NullTracer, Tracer
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Args:
+        seed: Master seed for the simulator's named random streams.
+        tracer: Event tracer; defaults to a no-op tracer.
+    """
+
+    def __init__(self, seed: int = 0, tracer: Tracer | None = None) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self.rng = RngStreams(seed)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._processes: list["Process"] = []  # noqa: F821 - forward ref
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        return self._queue.push(self._now + delay, fn, priority)
+
+    def at(
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``fn`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: time={time} < now={self._now}"
+            )
+        return self._queue.push(time, fn, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    def spawn(
+        self,
+        gen: Generator[Any, Any, Any],
+        name: str = "process",
+    ) -> "Process":  # noqa: F821 - forward ref
+        """Create and start a simulated process from a generator.
+
+        The generator may yield floats (sleep), :class:`~repro.sim.waiters.Signal`
+        or :class:`~repro.sim.waiters.Future` objects (wait), or another
+        :class:`Process` (join).  See :mod:`repro.sim.process`.
+        """
+        from repro.sim.process import Process
+
+        process = Process(self, gen, name)
+        self._processes.append(process)
+        return process
+
+    @property
+    def processes(self) -> Iterable["Process"]:  # noqa: F821
+        """All processes ever spawned, in spawn order."""
+        return tuple(self._processes)
+
+    def step(self) -> float:
+        """Fire the single earliest event; return the new simulated time."""
+        event = self._queue.pop()
+        if event.time < self._now:
+            raise SimulationError(
+                f"event queue went backwards: {event.time} < {self._now}"
+            )
+        self._now = event.time
+        event.fn()
+        return self._now
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Drain the event queue.
+
+        Args:
+            until: Stop once the clock would pass this time.  Events at
+                exactly ``until`` still fire.
+            max_events: Safety valve; raise if more events than this fire.
+
+        Returns:
+            The simulated time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if until is not None and self._queue.peek_time() > until:
+                    self._now = until
+                    break
+                self.step()
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+        finally:
+            self._running = False
+        return self._now
+
+    def check_quiescent(self) -> None:
+        """Raise unless every spawned process has finished.
+
+        Workload drivers call this after :meth:`run` to catch deadlocks:
+        a process still waiting when the event queue is empty can never
+        make progress again.
+        """
+        stuck = [p.name for p in self._processes if not p.finished]
+        if stuck:
+            raise SimulationError(
+                "simulation ended with blocked processes (deadlock?): "
+                + ", ".join(stuck)
+            )

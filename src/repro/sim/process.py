@@ -1,0 +1,108 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator driven by the simulator.  Each ``yield``
+suspends the process until the yielded request completes:
+
+=======================  ====================================================
+Yielded value            Meaning
+=======================  ====================================================
+``float`` / ``int``      Sleep for that many simulated seconds (``>= 0``).
+:class:`Future`          Wait until resolved; ``yield`` returns the value.
+:class:`Signal`          Wait for the next fire; ``yield`` returns payload.
+:class:`Process`         Join: wait until that process finishes; ``yield``
+                         returns its return value.
+``None``                 Reschedule immediately (lets same-time events run).
+=======================  ====================================================
+
+Exceptions raised inside a process propagate out of :meth:`Simulator.run`,
+so model bugs fail tests loudly instead of silently killing a process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ProcessError
+from repro.sim.event import Event
+from repro.sim.waiters import Future, Signal
+
+
+class Process:
+    """A simulated thread of control.
+
+    Not instantiated directly; use :meth:`repro.sim.kernel.Simulator.spawn`.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",  # noqa: F821 - avoids circular import
+        gen: Generator[Any, Any, Any],
+        name: str,
+    ) -> None:
+        if not hasattr(gen, "send"):
+            raise ProcessError(
+                f"process {name!r} must be built from a generator, got {type(gen)!r}"
+            )
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._completion = Future(name=f"{name}.done")
+        self._pending_event: Event | None = None
+        # Start the process "now" so spawn order equals first-step order.
+        self._pending_event = sim.schedule(0.0, lambda: self._resume(None))
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+    @property
+    def completion(self) -> Future:
+        """A future resolved with the process's return value at exit."""
+        return self._completion
+
+    def _resume(self, value: Any) -> None:
+        """Advance the generator one step, dispatching its next request."""
+        self._pending_event = None
+        if self.finished:
+            raise ProcessError(f"process {self.name!r} resumed after finish")
+        try:
+            request = self.gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self._completion.resolve(stop.value)
+            return
+        self._dispatch(request)
+
+    def _dispatch(self, request: Any) -> None:
+        if request is None:
+            self._pending_event = self.sim.schedule(0.0, lambda: self._resume(None))
+        elif isinstance(request, (int, float)):
+            if request < 0:
+                raise ProcessError(
+                    f"process {self.name!r} yielded a negative delay: {request}"
+                )
+            self._pending_event = self.sim.schedule(
+                float(request), lambda: self._resume(None)
+            )
+        elif isinstance(request, Future):
+            request.add_callback(self._resume_later)
+        elif isinstance(request, Signal):
+            request.add_callback(self._resume_later)
+        elif isinstance(request, Process):
+            request.completion.add_callback(self._resume_later)
+        else:
+            raise ProcessError(
+                f"process {self.name!r} yielded an unsupported value: {request!r}"
+            )
+
+    def _resume_later(self, value: Any) -> None:
+        """Resume via a zero-delay event so wakes never nest inside fires.
+
+        Firing a signal from arbitrary model code must not re-enter the
+        process synchronously; scheduling the resume keeps the event loop
+        the only caller of process code.
+        """
+        self._pending_event = self.sim.schedule(0.0, lambda: self._resume(value))

@@ -1,0 +1,74 @@
+"""Simulation tracing.
+
+A :class:`Tracer` records timestamped, categorized events.  Protocol code
+calls ``tracer.record(time, category, detail)``; tests and examples filter
+the records to assert protocol behaviour (e.g. "the root discarded the
+speculative write before granting the lock").
+
+The default :class:`NullTracer` drops everything at near-zero cost so
+large benchmark sweeps are not slowed by tracing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace line: when, what kind, and free-form detail fields."""
+
+    time: float
+    category: str
+    detail: dict[str, Any]
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time * 1e6:12.3f}us] {self.category:24s} {fields}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects in chronological call order."""
+
+    def __init__(self, categories: set[str] | None = None) -> None:
+        #: If set, only these categories are recorded.
+        self.categories = categories
+        self.records: list[TraceRecord] = []
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def record(self, time: float, category: str, **detail: Any) -> None:
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time=time, category=category, detail=detail))
+
+    def filter(self, category: str) -> list[TraceRecord]:
+        """All records in a category, in order."""
+        return [r for r in self.records if r.category == category]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump(self) -> str:
+        """The whole trace as printable text."""
+        return "\n".join(str(r) for r in self.records)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def record(self, time: float, category: str, **detail: Any) -> None:
+        return None

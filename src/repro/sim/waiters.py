@@ -1,0 +1,97 @@
+"""Waitable primitives for simulated processes.
+
+Processes wait by *yielding* one of these objects:
+
+* :class:`Future` — a one-shot value; every waiter is resumed with the
+  value once :meth:`Future.resolve` is called.  Waiting on an already
+  resolved future resumes immediately.
+* :class:`Signal` — a broadcast condition; each :meth:`Signal.fire` wakes
+  the waiters registered at that moment with the fired payload.  Waiters
+  that register later wait for the *next* fire.
+
+Both deliver the payload as the value of the ``yield`` expression.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class Future:
+    """A one-shot value that processes can wait for."""
+
+    __slots__ = ("_callbacks", "_resolved", "_value", "name")
+
+    def __init__(self, name: str = "future") -> None:
+        self.name = name
+        self._resolved = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    @property
+    def value(self) -> Any:
+        if not self._resolved:
+            raise SimulationError(f"future {self.name!r} read before resolve")
+        return self._value
+
+    def resolve(self, value: Any = None) -> None:
+        """Set the value and wake every waiter.  May only happen once."""
+        if self._resolved:
+            raise SimulationError(f"future {self.name!r} resolved twice")
+        self._resolved = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` on resolve (immediately if resolved)."""
+        if self._resolved:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+
+class Signal:
+    """A broadcast event that can fire many times.
+
+    Each :meth:`fire` wakes exactly the waiters registered before the
+    fire; the payload becomes each waiter's ``yield`` value.
+    """
+
+    __slots__ = ("_waiters", "fire_count", "name")
+
+    def __init__(self, name: str = "signal") -> None:
+        self.name = name
+        self._waiters: list[Callable[[Any], None]] = []
+        self.fire_count = 0
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback`` to be invoked on the next fire only."""
+        self._waiters.append(callback)
+
+    def remove_callback(self, callback: Callable[[Any], None]) -> bool:
+        """Deregister a callback; returns True if it was registered."""
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            return False
+        return True
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all currently registered waiters; return how many."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(payload)
+        return len(waiters)

@@ -1,0 +1,52 @@
+"""Workloads: the programs the paper's evaluation runs.
+
+* :mod:`repro.workloads.contention` — the Figure 1 three-CPU locking
+  comparison.
+* :mod:`repro.workloads.task_queue` — the Figure 2 task-management
+  application (one producer, a lock-guarded shared queue).
+* :mod:`repro.workloads.pipeline` — the Figure 8 linear pipeline used to
+  evaluate optimistic locking.
+* :mod:`repro.workloads.counter` — a shared-counter kernel used by the
+  lock-protocol ablations.
+* :mod:`repro.workloads.scenarios` — the Figure 7 rollback interaction
+  and the echo-blocking corruption scenario.
+* :mod:`repro.workloads.synthetic` — randomized contention generator for
+  stress and property tests.
+"""
+
+from repro.workloads.base import WorkloadResult
+from repro.workloads.contention import ContentionConfig, run_contention
+from repro.workloads.counter import CounterConfig, run_counter
+from repro.workloads.lock_bench import LockBenchConfig, run_lock_bench
+from repro.workloads.pipeline import PipelineConfig, run_pipeline
+from repro.workloads.scenarios import (
+    DoubleWriteConfig,
+    Figure7Config,
+    run_double_write,
+    run_figure7,
+)
+from repro.workloads.stencil import StencilConfig, run_stencil
+from repro.workloads.synthetic import SyntheticConfig, run_synthetic
+from repro.workloads.task_queue import TaskQueueConfig, run_task_queue
+
+__all__ = [
+    "ContentionConfig",
+    "CounterConfig",
+    "DoubleWriteConfig",
+    "Figure7Config",
+    "LockBenchConfig",
+    "PipelineConfig",
+    "StencilConfig",
+    "SyntheticConfig",
+    "TaskQueueConfig",
+    "WorkloadResult",
+    "run_contention",
+    "run_counter",
+    "run_double_write",
+    "run_figure7",
+    "run_lock_bench",
+    "run_pipeline",
+    "run_stencil",
+    "run_synthetic",
+    "run_task_queue",
+]

@@ -1,0 +1,142 @@
+"""The Figure 1 locking comparison: three CPUs, one lock, one update each.
+
+"Figure 1 compares wasted idle times for three successive sets of
+mutually exclusive accesses under Sesame group write, entry, weak, and
+release consistency.  Each part shows times for contending requests to
+the same lock. ... CPU2 requests exclusive access later than CPU1 and
+CPU3."
+
+Setup mirrored here:
+
+* three processors; **CPU2 is the lock owner / group root / manager**
+  (the figure labels CPU2 "LOCK OWNER / GROUP ROOT");
+* CPU1 and CPU3 request at t = 0 (CPU1's request arrives first), CPU2
+  requests after a configurable delay;
+* each CPU performs one critical section: read the guarded data, update
+  it for ``update_time`` seconds, write it back, release;
+* for entry consistency, all three CPUs initially hold the guarded data
+  non-exclusively, so the first exclusive grant pays the invalidation
+  round trip the paper describes.
+
+The measurement is the total completion time of the three sections and
+each CPU's idle time — smaller is better; the paper's Figure 1 shows
+GWC < entry < weak/release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.node import NodeHandle
+from repro.core.section import Section, SectionContext
+from repro.params import PAPER_PARAMS, MachineParams
+from repro.workloads.base import WorkloadResult, build_machine, finish
+
+GROUP = "fig1_group"
+DATA = "shared_a"
+LOCK = "fig1_lock"
+
+#: The figure's processor naming: CPU1, CPU2, CPU3 -> node ids.
+CPU1, CPU2, CPU3 = 0, 1, 2
+
+
+@dataclass(frozen=True, slots=True)
+class ContentionConfig:
+    """Parameters for the Figure 1 comparison."""
+
+    system: str = "gwc"
+    #: Time spent updating inside each critical section, seconds.
+    update_time: float = 4e-6
+    #: How much later CPU2 requests than CPU1/CPU3, seconds.
+    cpu2_delay: float = 10e-6
+    #: Offset ensuring CPU1's request beats CPU3's, seconds.
+    cpu3_offset: float = 0.1e-6
+    params: MachineParams = PAPER_PARAMS
+    seed: int = 0
+    topology: str = "mesh_torus"
+    #: Render a Figure-1-style ASCII timing diagram into the result.
+    record_timeline: bool = False
+
+
+def _update_body(ctx: SectionContext) -> "Generator":  # noqa: F821
+    value = ctx.read(DATA)
+    yield from ctx.compute(ctx.node.locals["_update_time"])
+    if ctx.aborted:
+        return
+    ctx.write(DATA, value + 1)
+
+
+def _cpu(
+    node: NodeHandle,
+    system,
+    section: Section,
+    start_delay: float,
+    done_times: dict[int, float],
+):
+    if start_delay > 0:
+        yield start_delay  # staggered request arrival, not idle work
+    yield from system.run_section(node, section)
+    done_times[node.id] = node.sim.now
+
+
+def run_contention(config: ContentionConfig) -> WorkloadResult:
+    """Run the Figure 1 scenario under one consistency system."""
+    machine, system = build_machine(
+        config.system,
+        3,
+        params=config.params,
+        seed=config.seed,
+        topology=config.topology,
+    )
+    # CPU2 is the group root (GWC) / initial owner (entry) / manager
+    # (release), exactly as the figure labels it.
+    machine.create_group(GROUP, members=(CPU1, CPU2, CPU3), root=CPU2)
+    machine.declare_variable(GROUP, DATA, 0, mutex_lock=LOCK)
+    machine.declare_lock(GROUP, LOCK, protects=(DATA,), data_bytes=64)
+
+    if hasattr(system, "seed_copyset"):
+        # Entry consistency: the data starts non-exclusive on all CPUs,
+        # forcing the Figure 1(b) invalidation round trip.
+        system.seed_copyset(LOCK, (CPU1, CPU2, CPU3))
+
+    section = Section(
+        lock=LOCK,
+        body=_update_body,
+        shared_reads=(DATA,),
+        shared_writes=(DATA,),
+        label="fig1-update",
+    )
+    if config.record_timeline:
+        machine.enable_span_recording()
+    done_times: dict[int, float] = {}
+    starts = {CPU1: 0.0, CPU2: config.cpu2_delay, CPU3: config.cpu3_offset}
+    for node in machine.nodes:
+        node.locals["_update_time"] = config.update_time
+        machine.spawn(
+            _cpu(node, system, section, starts[node.id], done_times),
+            name=f"cpu-{node.id + 1}",
+        )
+    result = finish(machine, system)
+    if config.record_timeline:
+        from repro.metrics.timeline import render_timeline
+
+        result.extra["timeline"] = render_timeline(
+            machine,
+            title=f"Figure 1 timing diagram — {config.system}",
+            lock=LOCK,
+        )
+
+    elapsed = result.elapsed
+    idle = {
+        f"cpu{node.id + 1}_idle": node.metrics.idle(done_times[node.id])
+        - starts[node.id]
+        for node in machine.nodes
+    }
+    final = max(node.store.read(DATA) for node in machine.nodes)
+    result.extra.update(
+        completion_time=elapsed,
+        done_times=dict(sorted(done_times.items())),
+        final_value=final,
+        **idle,
+    )
+    return result

@@ -1,0 +1,144 @@
+"""Lock-protocol shoot-out: the paper's locks vs. the cited baselines.
+
+Runs the shared-counter kernel under five mutual-exclusion protocols on
+the same eagersharing substrate:
+
+* ``gwc_queue``  — the Section 2 queue-based GWC lock;
+* ``optimistic`` — the Section 4 optimistic protocol;
+* ``tas``        — test-and-set spinning via remote atomics [3];
+* ``ttas``       — test-and-test-and-set with local spinning [17];
+* ``mcs``        — the MCS software queue lock [14].
+
+For the spin and MCS baselines the counter is an *ordinary* eagershared
+variable (no root discard is involved); correctness still follows from
+GWC's channel ordering: a holder's release is sequenced after its data
+writes, so the next holder — whose acquisition reply leaves the root
+later — always finds the data locally current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.consistency.checker import MutualExclusionChecker
+from repro.core.machine import DSMMachine
+from repro.core.node import NodeHandle
+from repro.errors import WorkloadError
+from repro.locks.mcs import McsLock
+from repro.locks.rmw import RemoteAtomics
+from repro.locks.spin import TasSpinLock, TtasSpinLock
+from repro.memory.varspace import FREE_VALUE
+from repro.params import PAPER_PARAMS, MachineParams
+from repro.workloads.base import WorkloadResult
+from repro.workloads.counter import CounterConfig, run_counter
+
+GROUP = "lockbench_group"
+COUNTER = "lb_counter"
+LOCK_VAR = "lb_lock"
+
+PROTOCOLS = ("gwc_queue", "optimistic", "tas", "ttas", "mcs")
+
+
+@dataclass(frozen=True, slots=True)
+class LockBenchConfig:
+    """Parameters for the lock-protocol shoot-out."""
+
+    protocol: str = "gwc_queue"
+    n_nodes: int = 6
+    increments_per_node: int = 8
+    think_time: float = 10e-6
+    update_time: float = 1e-6
+    params: MachineParams = PAPER_PARAMS
+    seed: int = 0
+    topology: str = "mesh_torus"
+
+
+def _baseline_lock(config: LockBenchConfig, machine: DSMMachine, atomics: RemoteAtomics):
+    if config.protocol == "tas":
+        machine.declare_variable(GROUP, LOCK_VAR, FREE_VALUE)
+        return TasSpinLock(LOCK_VAR, atomics)
+    if config.protocol == "ttas":
+        machine.declare_variable(GROUP, LOCK_VAR, FREE_VALUE)
+        return TtasSpinLock(LOCK_VAR, atomics)
+    if config.protocol == "mcs":
+        return McsLock(LOCK_VAR, GROUP, machine, atomics)
+    raise WorkloadError(f"unknown baseline protocol {config.protocol!r}")
+
+
+def run_lock_bench(config: LockBenchConfig) -> WorkloadResult:
+    """Run the counter kernel under the chosen lock protocol."""
+    if config.protocol not in PROTOCOLS:
+        raise WorkloadError(
+            f"unknown protocol {config.protocol!r}; known: {PROTOCOLS}"
+        )
+    if config.protocol in ("gwc_queue", "optimistic"):
+        system = "gwc" if config.protocol == "gwc_queue" else "gwc_optimistic"
+        result = run_counter(
+            CounterConfig(
+                system=system,
+                n_nodes=config.n_nodes,
+                increments_per_node=config.increments_per_node,
+                think_time=config.think_time,
+                update_time=config.update_time,
+                params=config.params,
+                seed=config.seed,
+                topology=config.topology,
+            )
+        )
+        result.extra["protocol"] = config.protocol
+        return result
+
+    checker = MutualExclusionChecker()
+    machine = DSMMachine(
+        n_nodes=config.n_nodes,
+        topology=config.topology,
+        params=config.params,
+        seed=config.seed,
+        checker=checker,
+    )
+    machine.create_group(GROUP, root=0)
+    machine.declare_variable(GROUP, COUNTER, 0)  # ordinary eagershared word
+    atomics = RemoteAtomics(machine)
+    lock = _baseline_lock(config, machine, atomics)
+
+    def worker(node: NodeHandle) -> Generator[Any, Any, None]:
+        for _ in range(config.increments_per_node):
+            yield from node.busy(config.think_time, kind="useful")
+            yield from lock.acquire(node)
+            checker.enter(LOCK_VAR, node.id, node.sim.now)
+            value = node.store.read(COUNTER)
+            yield from node.busy(config.update_time, kind="useful")
+            node.iface.share_write(COUNTER, value + 1)
+            checker.observe_rmw(COUNTER, value, value + 1)
+            checker.exit(LOCK_VAR, node.id, node.sim.now)
+            yield from lock.release(node)
+
+    for node in machine.nodes:
+        machine.spawn(worker(node), name=f"lb-{node.id}")
+    elapsed = machine.run()
+    machine.sim.check_quiescent()
+    checker.verify_no_occupancy()
+    checker.verify_chain(COUNTER, 0)
+
+    expected = config.n_nodes * config.increments_per_node
+    finals = [n.store.read(COUNTER) for n in machine.nodes]
+    result = WorkloadResult(
+        system=config.protocol,
+        n_nodes=config.n_nodes,
+        elapsed=elapsed,
+        metrics=machine.metrics,
+        extra={
+            "protocol": config.protocol,
+            "expected": expected,
+            "final_values": finals,
+            "correct": max(finals) == expected,
+            "converged": all(v == expected for v in finals),
+            "remote_attempts": machine.metrics.total_counter(
+                "spin.remote_attempts"
+            ),
+            "atomics_served": atomics.served,
+            "messages": machine.network.stats.messages,
+        },
+    )
+    return result

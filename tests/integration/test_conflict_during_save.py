@@ -1,0 +1,112 @@
+"""The rarest Figure 5 path: a conflict arriving while saving.
+
+Figure 5, lines P9-P10: "update usage frequency history; if
+variables_saved == NO then resume insharing, return to reg-wait" — a
+conflict that lands *between* arming the interrupt and finishing the
+rollback save needs no rollback (nothing was altered yet); the
+processor just falls back to a regular wait.
+
+The save window is widened here by declaring a large save set (the
+save cost is memory-bandwidth-limited), and the conflicting node is
+placed adjacent to the root so its grant lands inside that window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.base import make_system
+from repro.consistency.checker import MutualExclusionChecker
+from repro.core.machine import DSMMachine
+from repro.core.section import Section
+
+#: A wide save set: 100 locals at 8 bytes = 800 B = 2 us at 400 MB/s.
+WIDE_LOCALS = tuple(f"scratch_{i}" for i in range(100))
+
+
+def build():
+    machine = DSMMachine(
+        n_nodes=8, topology="ring", checker=MutualExclusionChecker()
+    )
+    machine.create_group("g", root=0)
+    machine.declare_variable("g", "v", 0, mutex_lock="L")
+    machine.declare_lock("g", "L", protects=("v",))
+    system = make_system("gwc_optimistic", machine)
+    return machine, system
+
+
+def make_section(local_vars=()):
+    def body(ctx):
+        value = ctx.read("v")
+        yield from ctx.compute(1e-6)
+        if ctx.aborted:
+            return
+        ctx.write("v", value + 1)
+        ctx.observe_rmw("v", value, value + 1)
+
+    return Section(
+        lock="L",
+        body=body,
+        shared_reads=("v",),
+        shared_writes=("v",),
+        local_vars=local_vars,
+    )
+
+
+class TestConflictDuringSave:
+    def test_unsaved_conflict_skips_rollback(self):
+        machine, system = build()
+        wide_section = make_section(WIDE_LOCALS)
+        fast_section = make_section()
+        outcomes = {}
+
+        def far_node(node):
+            # Prime the locals the wide save set names.
+            for name in WIDE_LOCALS:
+                node.locals[name] = 0
+            outcome = yield from system.run_section(node, wide_section)
+            outcomes["far"] = outcome
+
+        def near_node(node):
+            # Starts a touch later; being adjacent to the root its
+            # request wins while the far node is still saving.
+            yield 0.05e-6
+            outcome = yield from system.run_section(node, fast_section)
+            outcomes["near"] = outcome
+
+        machine.spawn(far_node(machine.nodes[4]), name="far")
+        machine.spawn(near_node(machine.nodes[1]), name="near")
+        machine.run()
+
+        far = machine.nodes[4].metrics.counters
+        # The far node observed the conflict...
+        assert far.get("opt.conflicts", 0) == 1
+        # ...but had not finished saving, so no rollback was performed.
+        assert far.get("opt.rollbacks", 0) == 0
+        assert far.get("opt.attempts", 0) == 1
+        # Both updates committed.
+        assert machine.nodes[0].store.read("v") == 2
+        machine.checker.verify_chain("v", 0)
+
+    def test_saved_conflict_still_rolls_back(self):
+        """Control: with a tiny save set the same timing produces a
+        normal rollback instead."""
+        machine, system = build()
+        small_section = make_section()
+        fast_section = make_section()
+
+        def far_node(node):
+            yield from system.run_section(node, small_section)
+
+        def near_node(node):
+            yield 0.05e-6
+            yield from system.run_section(node, fast_section)
+
+        machine.spawn(far_node(machine.nodes[4]), name="far")
+        machine.spawn(near_node(machine.nodes[1]), name="near")
+        machine.run()
+        far = machine.nodes[4].metrics.counters
+        assert far.get("opt.conflicts", 0) == 1
+        assert far.get("opt.rollbacks", 0) == 1
+        assert machine.nodes[0].store.read("v") == 2
+        machine.checker.verify_chain("v", 0)

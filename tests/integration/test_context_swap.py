@@ -1,0 +1,113 @@
+"""Integration tests for the "wait or context swap" alternative (§4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.base import make_system
+from repro.consistency.checker import MutualExclusionChecker
+from repro.core.machine import DSMMachine
+from repro.core.section import Section
+from repro.errors import LockError
+from repro.locks.optimistic import OptimisticConfig
+
+
+def build(wait_mode="swap", swap_overhead=0.2e-6, force="regular"):
+    machine = DSMMachine(n_nodes=4, checker=MutualExclusionChecker())
+    machine.create_group("g")
+    machine.declare_variable("g", "v", 0, mutex_lock="L")
+    machine.declare_lock("g", "L", protects=("v",))
+    system = make_system(
+        "gwc_optimistic",
+        machine,
+        wait_mode=wait_mode,
+        swap_overhead=swap_overhead,
+        force=force,
+    )
+    return machine, system
+
+
+def increment_section(compute=4e-6):
+    def body(ctx):
+        value = ctx.read("v")
+        yield from ctx.compute(compute)
+        if ctx.aborted:
+            return
+        ctx.write("v", value + 1)
+
+    return Section(lock="L", body=body, shared_reads=("v",), shared_writes=("v",))
+
+
+def run_contended(machine, system, rounds=4, background=None):
+    section = increment_section()
+
+    def worker(node):
+        if background:
+            node.add_background_work(background)
+        for _ in range(rounds):
+            yield from system.run_section(node, section)
+
+    for node in machine.nodes:
+        machine.spawn(worker(node), name=f"w{node.id}")
+    machine.run()
+    return machine
+
+
+class TestContextSwap:
+    def test_background_work_runs_during_lock_waits(self):
+        machine, system = build()
+        run_contended(machine, system, background=[2e-6, 2e-6, 2e-6])
+        assert machine.metrics.total_counter("swap.switches") > 0
+        assert all(n.store.read("v") == 16 for n in machine.nodes)
+
+    def test_swap_improves_total_useful_throughput(self):
+        """The same contended run plus background work: swap mode turns
+        lock-wait idle time into useful time."""
+        background = [3e-6] * 4
+
+        machine_spin, system_spin = build(wait_mode="spin")
+        run_contended(machine_spin, system_spin, background=background)
+
+        machine_swap, system_swap = build(wait_mode="swap")
+        run_contended(machine_swap, system_swap, background=background)
+
+        useful_rate_spin = (
+            machine_spin.metrics.total_useful() / machine_spin.metrics.elapsed
+        )
+        useful_rate_swap = (
+            machine_swap.metrics.total_useful() / machine_swap.metrics.elapsed
+        )
+        # Spin mode never touches the background queue.
+        assert machine_spin.metrics.total_counter("swap.switches") == 0
+        assert useful_rate_swap > useful_rate_spin
+
+    def test_swap_overhead_is_charged(self):
+        machine, system = build(swap_overhead=1e-6)
+        run_contended(machine, system, background=[2e-6, 2e-6])
+        switches = machine.metrics.total_counter("swap.switches")
+        overhead = sum(n.metrics.overhead for n in machine.nodes)
+        assert overhead >= switches * 1e-6 * 0.99
+
+    def test_without_background_work_swap_degenerates_to_spin(self):
+        machine, system = build(wait_mode="swap")
+        run_contended(machine, system, background=None)
+        assert machine.metrics.total_counter("swap.switches") == 0
+        assert all(n.store.read("v") == 16 for n in machine.nodes)
+
+    def test_correctness_unaffected_by_wait_mode(self):
+        for mode in ("spin", "swap"):
+            machine, system = build(wait_mode=mode, force=None)
+            run_contended(machine, system, background=[1e-6] * 8)
+            assert all(n.store.read("v") == 16 for n in machine.nodes)
+            machine.checker.verify_no_occupancy()
+
+    def test_config_validation(self):
+        with pytest.raises(LockError):
+            OptimisticConfig(wait_mode="hibernate")
+        with pytest.raises(LockError):
+            OptimisticConfig(swap_overhead=-1.0)
+
+    def test_bad_background_chunk_rejected(self):
+        machine, _ = build()
+        with pytest.raises(ValueError):
+            machine.nodes[0].add_background_work([0.0])

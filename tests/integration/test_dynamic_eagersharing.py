@@ -1,0 +1,143 @@
+"""Integration tests for dynamic disabling of eagersharing (§1.1) and
+the grouping ablation (§1.2's global-root warning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine import DSMMachine
+from repro.errors import MemoryError_
+from repro.experiments.grouping import GroupingConfig, run_grouping, run_grouping_sweep
+
+
+def build():
+    machine = DSMMachine(n_nodes=4)
+    machine.create_group("g", root=0)
+    machine.declare_variable("g", "big", 0, size_bytes=1024)
+    machine.declare_variable("g", "m", 0, mutex_lock="L")
+    machine.declare_lock("g", "L", protects=("m",))
+    return machine
+
+
+class TestDynamicDisable:
+    def test_unsubscribed_member_keeps_stale_copy(self):
+        machine = build()
+
+        def unsub_then_wait(node):
+            node.iface.unsubscribe("big")
+            yield 5e-6  # let the unsubscribe reach the root
+
+        def writer(node):
+            yield 10e-6
+            node.iface.share_write("big", 42)
+
+        machine.spawn(unsub_then_wait(machine.nodes[3]), name="u")
+        machine.spawn(writer(machine.nodes[1]), name="w")
+        machine.run()
+        assert machine.nodes[2].store.read("big") == 42  # still subscribed
+        assert machine.nodes[3].store.read("big") == 0  # suppressed
+        assert machine.nodes[3].iface.suppressed_applies == 1
+        assert machine.root_engine("g").suppressed_sends == 1
+
+    def test_sequencing_survives_suppression(self):
+        """Header-only applies must consume sequence numbers, so later
+        full applies (of other variables) still arrive in order."""
+        machine = build()
+        machine.declare_variable("g", "small", 0)
+
+        def unsub(node):
+            node.iface.unsubscribe("big")
+            yield 5e-6
+
+        def writer(node):
+            yield 10e-6
+            node.iface.share_write("big", 1)
+            node.iface.share_write("small", 2)
+            node.iface.share_write("big", 3)
+            node.iface.share_write("small", 4)
+
+        machine.spawn(unsub(machine.nodes[3]), name="u")
+        machine.spawn(writer(machine.nodes[1]), name="w")
+        machine.run()
+        assert machine.nodes[3].store.read("small") == 4
+        assert machine.nodes[3].store.read("big") == 0
+        assert machine.nodes[3].iface.suppressed_applies == 2
+
+    def test_resubscribe_refreshes_current_value(self):
+        machine = build()
+
+        def choreography(node, writer):
+            node.iface.unsubscribe("big")
+            yield 5e-6
+            writer.iface.share_write("big", 7)
+            yield 5e-6
+            assert node.store.read("big") == 0  # missed it
+            node.iface.resubscribe("big")
+            yield from node.store.wait_until("big", lambda v: v == 7)
+
+        machine.spawn(
+            choreography(machine.nodes[3], machine.nodes[1]), name="c"
+        )
+        machine.run()
+        assert machine.nodes[3].store.read("big") == 7
+
+    def test_suppression_saves_wire_bytes(self):
+        def run(unsubscribe: bool) -> int:
+            machine = build()
+
+            def maybe_unsub(node):
+                if unsubscribe:
+                    node.iface.unsubscribe("big")
+                yield 5e-6
+
+            def writer(node):
+                yield 10e-6
+                for i in range(10):
+                    node.iface.share_write("big", i)
+
+            machine.spawn(maybe_unsub(machine.nodes[3]), name="u")
+            machine.spawn(writer(machine.nodes[1]), name="w")
+            machine.run()
+            return machine.network.stats.bytes
+
+        assert run(unsubscribe=True) < run(unsubscribe=False)
+
+    def test_synchronization_variables_cannot_unsubscribe(self):
+        machine = build()
+        with pytest.raises(MemoryError_):
+            machine.nodes[1].iface.unsubscribe("L")
+        with pytest.raises(MemoryError_):
+            machine.nodes[1].iface.unsubscribe("m")
+
+
+class TestGroupingAblation:
+    def test_global_root_slower_than_split_roots(self):
+        config = GroupingConfig(n_nodes=16, n_partitions=4)
+        split = run_grouping(config, merged=False)
+        merged = run_grouping(config, merged=True)
+        assert merged["elapsed"] > split["elapsed"] * 1.5
+
+    def test_gap_holds_across_sizes(self):
+        rows = run_grouping_sweep(sizes=(8, 16))
+        for row in rows:
+            assert row.slowdown > 1.5
+
+    def test_merged_root_carries_multiplied_load(self):
+        """The mechanism, measured: the global root receives about
+        n_partitions times the traffic of the busiest split root."""
+        config = GroupingConfig(n_nodes=16, n_partitions=4)
+        split = run_grouping(config, merged=False)
+        merged = run_grouping(config, merged=True)
+        assert merged["hottest_node"] == 0
+        assert merged["hottest_load"] > 3 * split["hottest_load"]
+
+    def test_without_service_time_no_bottleneck(self):
+        """With the paper's infinitely fast interfaces the merged root
+        is only mildly slower (longer average distances), showing the
+        bottleneck really is interface occupancy."""
+        config = GroupingConfig(
+            n_nodes=16, n_partitions=4, interface_service_time=0.0
+        )
+        split = run_grouping(config, merged=False)
+        merged = run_grouping(config, merged=True)
+        assert merged["elapsed"] < split["elapsed"] * 1.6

@@ -1,0 +1,101 @@
+"""Entry consistency: concurrent non-exclusive readers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.base import make_system
+from repro.consistency.entry import EXCLUSIVE, NON_EXCLUSIVE
+from repro.core.machine import DSMMachine
+
+
+def build(n=6):
+    machine = DSMMachine(n_nodes=n)
+    machine.create_group("g", root=0)
+    machine.declare_variable("g", "d", 0, mutex_lock="L")
+    machine.declare_lock("g", "L", protects=("d",), data_bytes=32)
+    return machine, make_system("entry", machine)
+
+
+class TestConcurrentReaders:
+    def test_readers_overlap_in_time(self):
+        machine, system = build()
+        spans = {}
+
+        def reader(node):
+            yield from system.acquire(node, "L", mode=NON_EXCLUSIVE)
+            start = node.sim.now
+            yield 5e-6
+            spans[node.id] = (start, node.sim.now)
+            yield from system.release(node, "L")
+
+        for nid in (2, 3, 4):
+            machine.spawn(reader(machine.nodes[nid]), name=f"r{nid}")
+        machine.run()
+        assert len(spans) == 3
+        # All three held simultaneously at some instant.
+        latest_start = max(start for start, _ in spans.values())
+        earliest_end = min(end for _, end in spans.values())
+        assert latest_start < earliest_end
+
+    def test_readers_see_writers_committed_value(self):
+        machine, system = build()
+        seen = []
+
+        def writer(node):
+            yield from system.acquire(node, "L", mode=EXCLUSIVE)
+            system.section_write(node, "d", 7)
+            yield from system.release(node, "L")
+
+        def reader(node):
+            yield 5e-6
+            yield from system.acquire(node, "L", mode=NON_EXCLUSIVE)
+            seen.append(node.store.read("d"))
+            yield from system.release(node, "L")
+
+        machine.spawn(writer(machine.nodes[1]), name="w")
+        for nid in (3, 4):
+            machine.spawn(reader(machine.nodes[nid]), name=f"r{nid}")
+        machine.run()
+        assert seen == [7, 7]
+
+    def test_writer_after_readers_invalidates_them_all(self):
+        machine, system = build()
+
+        def reader(node):
+            yield from system.acquire(node, "L", mode=NON_EXCLUSIVE)
+            yield from system.release(node, "L")
+
+        def writer(node):
+            yield 5e-6
+            yield from system.acquire(node, "L", mode=EXCLUSIVE)
+            system.section_write(node, "d", 1)
+            yield from system.release(node, "L")
+
+        for nid in (2, 3, 4):
+            machine.spawn(reader(machine.nodes[nid]), name=f"r{nid}")
+        machine.spawn(writer(machine.nodes[5]), name="w")
+        machine.run()
+        # Readers 2,3,4 (and initial owner 0) lose their copies.
+        assert system._lock_state("L").copyset == {5}
+        assert system.invalidations >= 3
+
+    def test_exclusive_waits_for_queue_position_behind_reads(self):
+        machine, system = build()
+        order = []
+
+        def reader(node):
+            yield from system.acquire(node, "L", mode=NON_EXCLUSIVE)
+            order.append(("r", node.id))
+            yield from system.release(node, "L")
+
+        def writer(node):
+            yield 0.2e-6
+            yield from system.acquire(node, "L", mode=EXCLUSIVE)
+            order.append(("w", node.id))
+            yield from system.release(node, "L")
+
+        machine.spawn(reader(machine.nodes[2]), name="r2")
+        machine.spawn(writer(machine.nodes[4]), name="w4")
+        machine.run()
+        assert ("r", 2) in order and ("w", 4) in order

@@ -1,0 +1,225 @@
+"""Integration tests for the entry-consistency comparator's specifics:
+data-with-grant, invalidation round trips, owner handoff, local release,
+and demand-fetch behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.base import make_system
+from repro.consistency.entry import EXCLUSIVE, NON_EXCLUSIVE, EntrySystem
+from repro.core.machine import DSMMachine
+
+
+def build(n=4):
+    machine = DSMMachine(n_nodes=n)
+    machine.create_group("g", root=0)
+    machine.declare_variable("g", "guarded", 0, mutex_lock="L")
+    machine.declare_variable("g", "plain", 0)
+    machine.declare_lock("g", "L", protects=("guarded",), data_bytes=64)
+    system = make_system("entry", machine)
+    assert isinstance(system, EntrySystem)
+    return machine, system
+
+
+class TestDataWithGrant:
+    def test_grant_ships_current_guarded_values(self):
+        machine, system = build()
+        seen = []
+
+        def writer(node):
+            yield from system.acquire(node, "L")
+            system.section_write(node, "guarded", 42)
+            yield from system.release(node, "L")
+
+        def reader(node):
+            yield 5e-6  # after the writer
+            yield from system.acquire(node, "L")
+            seen.append(node.store.read("guarded"))
+            yield from system.release(node, "L")
+
+        machine.spawn(writer(machine.nodes[1]), name="w")
+        machine.spawn(reader(machine.nodes[3]), name="r")
+        machine.run()
+        assert seen == [42]
+        assert system.data_grants >= 2
+
+    def test_non_acquirers_keep_stale_copies(self):
+        """Entry consistency does not push: a node that never takes the
+        lock never sees the update."""
+        machine, system = build()
+
+        def writer(node):
+            yield from system.acquire(node, "L")
+            system.section_write(node, "guarded", 42)
+            yield from system.release(node, "L")
+
+        machine.spawn(writer(machine.nodes[1]), name="w")
+        machine.run()
+        assert machine.nodes[2].store.read("guarded") == 0
+
+
+class TestOwnershipAndRelease:
+    def test_release_is_local_and_reacquisition_free(self):
+        machine, system = build()
+        grants_before = []
+
+        def worker(node):
+            yield from system.acquire(node, "L")
+            yield from system.release(node, "L")
+            grants_before.append(system.data_grants)
+            # Re-acquire: owner with sole copy pays no messages.
+            yield from system.acquire(node, "L")
+            yield from system.release(node, "L")
+
+        # Node 0 is the initial owner.
+        machine.spawn(worker(machine.nodes[0]), name="w")
+        machine.run()
+        assert system.data_grants == grants_before[0]
+
+    def test_ownership_transfers_to_last_exclusive_holder(self):
+        machine, system = build()
+
+        def worker(node):
+            yield from system.acquire(node, "L")
+            yield from system.release(node, "L")
+
+        machine.spawn(worker(machine.nodes[2]), name="w")
+        machine.run()
+        assert system._lock_state("L").owner == 2
+
+    def test_queueing_under_contention(self):
+        machine, system = build()
+        order = []
+
+        def worker(node, delay):
+            yield delay
+            yield from system.acquire(node, "L")
+            order.append(node.id)
+            yield 2e-6
+            yield from system.release(node, "L")
+
+        for node, delay in ((1, 0.0), (2, 0.1e-6), (3, 0.2e-6)):
+            machine.spawn(worker(machine.nodes[node], delay), name=f"w{node}")
+        machine.run()
+        assert sorted(order) == [1, 2, 3]
+        assert len(order) == 3
+
+
+class TestInvalidation:
+    def test_exclusive_grant_invalidates_nonexclusive_holders(self):
+        machine, system = build()
+        system.seed_copyset("L", (1, 2, 3))
+
+        def worker(node):
+            yield from system.acquire(node, "L", mode=EXCLUSIVE)
+            yield from system.release(node, "L")
+
+        machine.spawn(worker(machine.nodes[3]), name="w")
+        machine.run()
+        # Nodes 1 and 2 were invalidated (3 keeps its copy as requester;
+        # 0 is the owner).
+        assert system.invalidations == 2
+        assert system._lock_state("L").copyset == {3}
+
+    def test_nonexclusive_acquire_joins_copyset(self):
+        machine, system = build()
+
+        def reader(node):
+            yield from system.acquire(node, "L", mode=NON_EXCLUSIVE)
+            yield from system.release(node, "L")
+
+        machine.spawn(reader(machine.nodes[2]), name="r")
+        machine.run()
+        assert 2 in system._lock_state("L").copyset
+
+    def test_cached_nonexclusive_reacquire_is_free(self):
+        machine, system = build()
+        counts = []
+
+        def reader(node):
+            yield from system.acquire(node, "L", mode=NON_EXCLUSIVE)
+            yield from system.release(node, "L")
+            counts.append(system.data_grants)
+            yield from system.acquire(node, "L", mode=NON_EXCLUSIVE)
+            yield from system.release(node, "L")
+            counts.append(system.data_grants)
+
+        machine.spawn(reader(machine.nodes[2]), name="r")
+        machine.run()
+        assert counts[0] == counts[1]
+
+
+class TestDemandFetch:
+    def test_remote_read_round_trips(self):
+        machine, system = build()
+        got = []
+
+        def writer(node):
+            yield from system.write(node, "plain", 7)
+
+        def reader(node):
+            yield 1e-6
+            value = yield from system.read(node, "plain")
+            got.append((node.sim.now, value))
+
+        machine.spawn(writer(machine.nodes[1]), name="w")
+        machine.spawn(reader(machine.nodes[3]), name="r")
+        machine.run()
+        assert got[0][1] == 7
+        assert got[0][0] > 1e-6  # paid a round trip
+        assert system.fetches == 1
+
+    def test_local_read_is_free(self):
+        machine, system = build()
+        got = []
+
+        def worker(node):
+            yield from system.write(node, "plain", 5)
+            value = yield from system.read(node, "plain")
+            got.append(value)
+
+        machine.spawn(worker(machine.nodes[2]), name="w")
+        machine.run()
+        assert got == [5]
+        assert system.fetches == 0
+
+    def test_fetch_service_serializes_at_home(self):
+        """Concurrent fetches to one home queue behind each other — the
+        hot-spot that breaks demand-fetch scaling."""
+        machine, system = build()
+        arrival_times = []
+
+        def writer(node):
+            yield from system.write(node, "plain", 1)
+
+        def reader(node):
+            yield 1e-6
+            yield from system.read(node, "plain")
+            arrival_times.append(node.sim.now)
+
+        machine.spawn(writer(machine.nodes[0]), name="w")
+        for nid in (1, 2, 3):
+            machine.spawn(reader(machine.nodes[nid]), name=f"r{nid}")
+        machine.run()
+        arrival_times.sort()
+        gaps = [b - a for a, b in zip(arrival_times, arrival_times[1:])]
+        assert all(gap >= system.fetch_service_time * 0.9 for gap in gaps)
+
+    def test_wait_value_polls_until_satisfied(self):
+        machine, system = build()
+        got = []
+
+        def writer(node):
+            yield 5e-6
+            yield from system.write(node, "plain", 3)
+
+        def waiter(node):
+            value = yield from system.wait_value(node, "plain", lambda v: v == 3)
+            got.append(value)
+
+        machine.spawn(writer(machine.nodes[1]), name="w")
+        machine.spawn(waiter(machine.nodes[3]), name="r")
+        machine.run()
+        assert got == [3]
+        assert system.fetches > 1  # polled more than once

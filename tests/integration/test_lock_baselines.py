@@ -1,0 +1,124 @@
+"""Integration tests for the cited baseline lock protocols (TAS, TTAS,
+MCS) and the remote-atomic substrate they run on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine import DSMMachine
+from repro.locks.rmw import RemoteAtomics
+from repro.workloads.lock_bench import PROTOCOLS, LockBenchConfig, run_lock_bench
+
+
+class TestRemoteAtomics:
+    def build(self):
+        machine = DSMMachine(n_nodes=4)
+        machine.create_group("g", root=0)
+        machine.declare_variable("g", "w", 10)
+        atomics = RemoteAtomics(machine)
+        return machine, atomics
+
+    def test_fetch_and_store(self):
+        machine, atomics = self.build()
+        got = []
+
+        def proc(node):
+            old = yield from atomics.fetch_and_store(node, "w", 99)
+            got.append(old)
+
+        machine.spawn(proc(machine.nodes[2]), name="p")
+        machine.run()
+        assert got == [10]
+        # The new value was sequenced and multicast to every member.
+        assert all(n.store.read("w") == 99 for n in machine.nodes)
+
+    def test_compare_and_swap_success_and_failure(self):
+        machine, atomics = self.build()
+        got = []
+
+        def proc(node):
+            old = yield from atomics.compare_and_swap(node, "w", expected=10, value=20)
+            got.append(old)
+            old = yield from atomics.compare_and_swap(node, "w", expected=10, value=30)
+            got.append(old)
+
+        machine.spawn(proc(machine.nodes[1]), name="p")
+        machine.run()
+        assert got == [10, 20]  # second CAS failed (old != expected)
+        assert machine.nodes[3].store.read("w") == 20
+
+    def test_fetch_and_add(self):
+        machine, atomics = self.build()
+
+        def proc(node, times):
+            for _ in range(times):
+                yield from atomics.fetch_and_add(node, "w", 1)
+
+        machine.spawn(proc(machine.nodes[1], 5), name="p1")
+        machine.spawn(proc(machine.nodes[3], 5), name="p3")
+        machine.run()
+        # Root arbitration makes concurrent increments atomic.
+        assert all(n.store.read("w") == 20 for n in machine.nodes)
+
+    def test_test_and_set_atomicity_under_race(self):
+        machine, atomics = self.build()
+        winners = []
+
+        def proc(node):
+            old = yield from atomics.test_and_set(node, "w", node.id, 10)
+            if old == 10:
+                winners.append(node.id)
+
+        for node in machine.nodes:
+            machine.spawn(proc(node), name=f"p{node.id}")
+        machine.run()
+        assert len(winners) == 1
+
+
+class TestBaselineProtocols:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_no_lost_updates(self, protocol):
+        result = run_lock_bench(
+            LockBenchConfig(protocol=protocol, n_nodes=5, increments_per_node=6)
+        )
+        assert result.extra["correct"], result.extra
+        assert result.extra["converged"]
+
+    @pytest.mark.parametrize("protocol", ("tas", "ttas", "mcs"))
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_baselines_across_seeds(self, protocol, seed):
+        result = run_lock_bench(
+            LockBenchConfig(
+                protocol=protocol, n_nodes=6, increments_per_node=5, seed=seed
+            )
+        )
+        assert result.extra["correct"]
+
+    def test_ttas_spins_locally_more_than_tas(self):
+        """TTAS's whole point: fewer remote attempts than plain TAS
+        under the same contention."""
+        tas = run_lock_bench(
+            LockBenchConfig(protocol="tas", n_nodes=6, increments_per_node=8)
+        )
+        ttas = run_lock_bench(
+            LockBenchConfig(protocol="ttas", n_nodes=6, increments_per_node=8)
+        )
+        assert ttas.extra["remote_attempts"] < tas.extra["remote_attempts"]
+
+    def test_mcs_needs_no_spin_retries(self):
+        result = run_lock_bench(
+            LockBenchConfig(protocol="mcs", n_nodes=6, increments_per_node=8)
+        )
+        assert result.extra["remote_attempts"] == 0
+
+    def test_gwc_queue_beats_spin_locks_under_contention(self):
+        """The paper's motivation for queue-based locks on DSM."""
+        gwc = run_lock_bench(
+            LockBenchConfig(protocol="gwc_queue", n_nodes=8, increments_per_node=8,
+                            think_time=2e-6)
+        )
+        tas = run_lock_bench(
+            LockBenchConfig(protocol="tas", n_nodes=8, increments_per_node=8,
+                            think_time=2e-6)
+        )
+        assert gwc.elapsed < tas.elapsed

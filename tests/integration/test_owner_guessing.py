@@ -1,0 +1,118 @@
+"""Entry consistency owner guessing (§1.3) vs. the oracle fast version.
+
+"Other schemes use a distributed algorithm to guess the current lock
+owner, p.  If the guess is wrong ... the request is forwarded to a new
+guess supplied by p", and §3: "Under light contention, entry consistency
+may not perform as well, since a new requestor may often guess the wrong
+lock owner and have to wait for its request to be forwarded."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.base import make_system
+from repro.core.machine import DSMMachine
+
+
+def build(owner_oracle: bool, n=8):
+    machine = DSMMachine(n_nodes=n, topology="ring")
+    machine.create_group("g", root=0)
+    machine.declare_variable("g", "d", 0, mutex_lock="L")
+    machine.declare_lock("g", "L", protects=("d",))
+    system = make_system("entry", machine, owner_oracle=owner_oracle)
+    return machine, system
+
+
+def round_robin_light_contention(machine, system, per_node=2, gap=20e-6):
+    """Nodes take the lock one after another with large gaps: every new
+    requester's stale guess points at the *initial* owner."""
+    done = []
+
+    def worker(node, start):
+        yield start
+        for _ in range(per_node):
+            yield from system.acquire(node, "L")
+            yield 0.5e-6
+            yield from system.release(node, "L")
+            yield gap
+        done.append(node.id)
+
+    for i, node in enumerate(machine.nodes):
+        machine.spawn(worker(node, i * 3e-6), name=f"w{node.id}")
+    machine.run()
+    return done
+
+
+class TestOwnerGuessing:
+    def test_guessing_is_correct(self):
+        machine, system = build(owner_oracle=False)
+        done = round_robin_light_contention(machine, system)
+        assert sorted(done) == list(range(8))
+
+    def test_wrong_guesses_cause_forwarding(self):
+        machine, system = build(owner_oracle=False)
+        round_robin_light_contention(machine, system)
+        forwards = machine.metrics.total_counter("ec.forwards")
+        assert forwards > 0
+
+    def test_oracle_version_forwards_less(self):
+        """The paper's "fast version" exists precisely to remove the
+        guessing penalty; the oracle must forward strictly less."""
+        machine_g, system_g = build(owner_oracle=False)
+        round_robin_light_contention(machine_g, system_g)
+        machine_o, system_o = build(owner_oracle=True)
+        round_robin_light_contention(machine_o, system_o)
+        forwards_guess = machine_g.metrics.total_counter("ec.forwards")
+        forwards_oracle = machine_o.metrics.total_counter("ec.forwards")
+        assert forwards_guess > forwards_oracle
+
+    def test_light_contention_slower_with_guessing(self):
+        machine_g, system_g = build(owner_oracle=False)
+        round_robin_light_contention(machine_g, system_g)
+        machine_o, system_o = build(owner_oracle=True)
+        round_robin_light_contention(machine_o, system_o)
+        assert machine_g.metrics.elapsed > machine_o.metrics.elapsed
+
+    def test_heavy_contention_queues_instead_of_chasing(self):
+        """When everyone requests at once, requests queue at the owner
+        and guessing costs little extra — the paper: "If several
+        processors are contending heavily ... entry consistency performs
+        as well as possible"."""
+        results = {}
+        for oracle in (True, False):
+            machine, system = build(owner_oracle=oracle)
+            count = {"n": 0}
+
+            def worker(node):
+                for _ in range(3):
+                    yield from system.acquire(node, "L")
+                    count["n"] += 1
+                    yield 0.5e-6
+                    yield from system.release(node, "L")
+
+            for node in machine.nodes:
+                machine.spawn(worker(node), name=f"w{node.id}")
+            machine.run()
+            assert count["n"] == 24
+            results[oracle] = machine.metrics.elapsed
+        # Guessing costs < 30% extra under heavy contention (vs the
+        # much larger relative penalty under light contention).
+        assert results[False] <= results[True] * 1.3
+
+    def test_forward_chains_terminate(self):
+        """Even with thoroughly stale guesses the MAX_FORWARDS fallback
+        reaches the true owner."""
+        machine, system = build(owner_oracle=False)
+        # Poison every node's guess to point at its neighbour, forming
+        # a cycle of wrong guesses.
+        for node in machine.nodes:
+            system._owner_guess[("L", node.id)] = (node.id + 1) % 8
+
+        def worker(node):
+            yield from system.acquire(node, "L")
+            yield from system.release(node, "L")
+
+        machine.spawn(worker(machine.nodes[5]), name="w")
+        machine.run(max_events=500_000)
+        machine.sim.check_quiescent()

@@ -1,0 +1,156 @@
+"""Integration tests for the weak/release-consistency comparator:
+update multicast with acks, the release fence, and the 3-message lock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.base import make_system
+from repro.consistency.release import ReleaseSystem
+from repro.core.machine import DSMMachine
+from repro.errors import LockStateError
+
+
+def build(n=4):
+    machine = DSMMachine(n_nodes=n)
+    machine.create_group("g", root=0)
+    machine.declare_variable("g", "guarded", 0, mutex_lock="L")
+    machine.declare_variable("g", "plain", 0)
+    machine.declare_lock("g", "L", protects=("guarded",))
+    system = make_system("release", machine)
+    assert isinstance(system, ReleaseSystem)
+    return machine, system
+
+
+class TestUpdatePropagation:
+    def test_writes_reach_every_member(self):
+        machine, system = build()
+
+        def writer(node):
+            yield from system.write(node, "plain", 9)
+
+        machine.spawn(writer(machine.nodes[2]), name="w")
+        machine.run()
+        assert all(n.store.read("plain") == 9 for n in machine.nodes)
+        assert system.updates_sent == 3  # everyone but the writer
+
+    def test_wait_value_wakes_on_pushed_update(self):
+        machine, system = build()
+        got = []
+
+        def writer(node):
+            yield 2e-6
+            yield from system.write(node, "plain", 5)
+
+        def waiter(node):
+            value = yield from system.wait_value(node, "plain", lambda v: v == 5)
+            got.append((node.sim.now, value))
+
+        machine.spawn(writer(machine.nodes[1]), name="w")
+        machine.spawn(waiter(machine.nodes[3]), name="r")
+        machine.run()
+        assert got[0][1] == 5
+
+
+class TestReleaseFence:
+    def test_release_blocks_until_updates_acked(self):
+        """Figure 1(c): "lock release ... is blocked until the updates
+        reach all nodes"."""
+        machine, system = build()
+        release_done = []
+
+        def worker(node):
+            yield from system.acquire(node, "L")
+            system.section_write(node, "guarded", 1)
+            write_time = node.sim.now
+            yield from system.release(node, "L")
+            release_done.append(node.sim.now - write_time)
+
+        machine.spawn(worker(machine.nodes[2]), name="w")
+        machine.run()
+        # The fence costs at least one update + ack round trip.
+        min_rtt = 2 * machine.network.delay(2, 0, 16)
+        assert release_done[0] >= min_rtt * 0.9
+
+    def test_release_without_writes_is_quick(self):
+        machine, system = build()
+        durations = []
+
+        def worker(node):
+            yield from system.acquire(node, "L")
+            start = node.sim.now
+            yield from system.release(node, "L")
+            durations.append(node.sim.now - start)
+
+        machine.spawn(worker(machine.nodes[2]), name="w")
+        machine.run()
+        assert durations[0] == 0.0
+
+    def test_release_by_non_holder_rejected(self):
+        machine, system = build()
+
+        def bad(node):
+            yield from system.release(node, "L")
+
+        machine.spawn(bad(machine.nodes[1]), name="bad")
+        with pytest.raises(LockStateError):
+            machine.run()
+
+
+class TestThreeMessageLock:
+    def test_contended_handoff_goes_holder_to_requester(self):
+        machine, system = build()
+        order = []
+
+        def worker(node, delay, hold):
+            yield delay
+            yield from system.acquire(node, "L")
+            order.append(node.id)
+            yield hold
+            yield from system.release(node, "L")
+
+        machine.spawn(worker(machine.nodes[1], 0.0, 5e-6), name="w1")
+        machine.spawn(worker(machine.nodes[3], 1e-6, 1e-6), name="w3")
+        machine.run()
+        assert order == [1, 3]
+
+    def test_free_lock_granted_by_manager(self):
+        machine, system = build()
+        held = []
+
+        def worker(node):
+            yield from system.acquire(node, "L")
+            held.append(node.id)
+            yield from system.release(node, "L")
+
+        machine.spawn(worker(machine.nodes[3]), name="w")
+        machine.run()
+        assert held == [3]
+
+    def test_weak_alias_behaves_identically(self):
+        machine = DSMMachine(n_nodes=3)
+        machine.create_group("g", root=0)
+        machine.declare_variable("g", "x", 0, mutex_lock="L")
+        machine.declare_lock("g", "L", protects=("x",))
+        system = make_system("weak", machine)
+        assert isinstance(system, ReleaseSystem)
+
+    def test_mutual_exclusion_under_heavy_contention(self):
+        machine, system = build(n=6)
+        inside = []
+        violations = []
+
+        def worker(node):
+            for _ in range(3):
+                yield from system.acquire(node, "L")
+                if inside:
+                    violations.append(tuple(inside))
+                inside.append(node.id)
+                yield 0.5e-6
+                inside.remove(node.id)
+                yield from system.release(node, "L")
+
+        for node in machine.nodes:
+            machine.spawn(worker(node), name=f"w{node.id}")
+        machine.run()
+        assert not violations

@@ -1,0 +1,195 @@
+"""Integration tests for the remaining Section 2 patterns: the
+single-writer ordinary-variable lock, multi-group mutual exclusion, and
+the sequential-consistency baseline added for comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.base import make_system
+from repro.core.machine import DSMMachine
+from repro.errors import LockError, LockStateError
+from repro.locks.multigroup import MultiGroupMutex
+from repro.locks.single_writer import (
+    INVALID,
+    SingleWriterPublisher,
+    SingleWriterReader,
+)
+
+
+class TestSingleWriterPattern:
+    def build(self):
+        machine = DSMMachine(n_nodes=4)
+        machine.create_group("g", root=0)
+        machine.declare_variable("g", "valid", 0)
+        machine.declare_variable("g", "d1", 0)
+        machine.declare_variable("g", "d2", 0)
+        return machine
+
+    def test_readers_see_complete_published_updates(self):
+        machine = self.build()
+        writer_node = machine.nodes[1]
+        publisher = SingleWriterPublisher("valid", writer_node)
+        reader = SingleWriterReader("valid", ("d1", "d2"))
+        snapshots = []
+
+        def writer():
+            for round_ in range(1, 4):
+                publisher.begin_update()
+                publisher.write("d1", round_ * 10)
+                yield 2e-6  # mid-update delay: readers must not peek
+                publisher.write("d2", round_ * 10 + 1)
+                publisher.publish()
+                yield 5e-6
+
+        def read_proc(node):
+            for version in range(1, 4):
+                got = yield from reader.snapshot(node, min_version=version)
+                snapshots.append((node.id, got))
+
+        machine.spawn(writer(), name="writer")
+        for node in (machine.nodes[2], machine.nodes[3]):
+            machine.spawn(read_proc(node), name=f"reader-{node.id}")
+        machine.run()
+        assert len(snapshots) == 6
+        for _node, (version, values) in snapshots:
+            # A snapshot is always internally consistent: both fields
+            # come from the same published round.
+            assert values["d1"] == version * 10
+            assert values["d2"] == version * 10 + 1
+
+    def test_no_lock_traffic_at_all(self):
+        machine = self.build()
+        publisher = SingleWriterPublisher("valid", machine.nodes[1])
+        reader = SingleWriterReader("valid", ("d1",))
+        got = []
+
+        def writer():
+            publisher.begin_update()
+            publisher.write("d1", 7)
+            publisher.publish()
+            yield 0
+
+        def read_proc(node):
+            got.append((yield from reader.snapshot(node)))
+
+        machine.spawn(writer(), name="w")
+        machine.spawn(read_proc(machine.nodes[3]), name="r")
+        machine.run()
+        assert got[0][1]["d1"] == 7
+        # Only eagersharing updates flowed; no lock protocol messages.
+        kinds = set(machine.network.stats.by_kind)
+        assert kinds <= {"gwc.update", "gwc.apply"}
+
+    def test_misuse_rejected(self):
+        machine = self.build()
+        publisher = SingleWriterPublisher("valid", machine.nodes[1])
+        with pytest.raises(LockStateError):
+            publisher.write("d1", 1)
+        with pytest.raises(LockStateError):
+            publisher.publish()
+        publisher.begin_update()
+        with pytest.raises(LockStateError):
+            publisher.begin_update()
+
+
+class TestMultiGroupMutex:
+    def build(self):
+        machine = DSMMachine(n_nodes=6)
+        machine.create_group("g1", members=(0, 1, 2, 3), root=0)
+        machine.create_group("g2", members=(2, 3, 4, 5), root=5)
+        machine.declare_variable("g1", "x", 0, mutex_lock="L1")
+        machine.declare_lock("g1", "L1", protects=("x",))
+        machine.declare_variable("g2", "y", 0, mutex_lock="L2")
+        machine.declare_lock("g2", "L2", protects=("y",))
+        return machine
+
+    def test_cross_group_updates_are_exclusive(self):
+        machine = self.build()
+        mutex = MultiGroupMutex(machine, ("L1", "L2"))
+        inside = []
+        violations = []
+
+        def worker(node):
+            for _ in range(3):
+                yield from mutex.acquire(node)
+                if inside:
+                    violations.append(tuple(inside))
+                inside.append(node.id)
+                x = node.store.read("x")
+                y = node.store.read("y")
+                yield 1e-6
+                node.iface.share_write("x", x + 1)
+                node.iface.share_write("y", y + 1)
+                inside.remove(node.id)
+                yield from mutex.release(node)
+
+        # Only nodes in BOTH groups can touch both variables.
+        for node_id in (2, 3):
+            machine.spawn(worker(machine.nodes[node_id]), name=f"w{node_id}")
+        machine.run()
+        assert not violations
+        assert machine.nodes[2].store.read("x") == 6
+        assert machine.nodes[3].store.read("y") == 6
+
+    def test_canonical_order_prevents_deadlock(self):
+        """Two workers name the locks in opposite orders; the mutex
+        sorts them, so the classic AB/BA deadlock cannot happen."""
+        machine = self.build()
+        ab = MultiGroupMutex(machine, ("L1", "L2"))
+        ba = MultiGroupMutex(machine, ("L2", "L1"))
+        assert ab.locks == ba.locks
+        done = []
+
+        def worker(node, mutex):
+            for _ in range(5):
+                yield from mutex.acquire(node)
+                yield 0.5e-6
+                yield from mutex.release(node)
+            done.append(node.id)
+
+        machine.spawn(worker(machine.nodes[2], ab), name="w2")
+        machine.spawn(worker(machine.nodes[3], ba), name="w3")
+        machine.run()  # check_quiescent would flag a deadlock
+        assert sorted(done) == [2, 3]
+
+    def test_validation(self):
+        machine = self.build()
+        with pytest.raises(LockError):
+            MultiGroupMutex(machine, ())
+        with pytest.raises(LockError):
+            MultiGroupMutex(machine, ("L1", "L1"))
+
+
+class TestSequentialBaseline:
+    def test_counter_correct_and_slowest_of_eager_models(self):
+        from repro.workloads.counter import CounterConfig, run_counter
+
+        elapsed = {}
+        for system in ("gwc", "sequential"):
+            result = run_counter(
+                CounterConfig(system=system, n_nodes=5, increments_per_node=5)
+            )
+            assert result.extra["correct"]
+            elapsed[system] = result.elapsed
+        # "Inefficient even for two processors": SC's per-write fencing
+        # must cost more than GWC's non-blocking eagersharing.
+        assert elapsed["sequential"] > elapsed["gwc"]
+
+    def test_plain_write_blocks_until_globally_applied(self):
+        machine = DSMMachine(n_nodes=4)
+        machine.create_group("g", root=0)
+        machine.declare_variable("g", "x", 0)
+        system = make_system("sequential", machine)
+        durations = []
+
+        def writer(node):
+            start = node.sim.now
+            yield from system.write(node, "x", 1)
+            durations.append(node.sim.now - start)
+
+        machine.spawn(writer(machine.nodes[2]), name="w")
+        machine.run()
+        # At least one full round trip through the sequencer.
+        assert durations[0] >= 2 * machine.network.delay(2, 0, 16)
+        assert all(n.store.read("x") == 1 for n in machine.nodes)

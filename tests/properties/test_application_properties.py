@@ -1,0 +1,77 @@
+"""Property tests for the application-level building blocks."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.machine import DSMMachine
+from repro.locks.barrier import CentralBarrier
+from repro.locks.rmw import RemoteAtomics
+from repro.workloads.stencil import StencilConfig, run_stencil
+
+SLOW = settings(max_examples=10, deadline=None)
+
+
+class TestStencilProperties:
+    @SLOW
+    @given(
+        n_nodes=st.sampled_from([1, 2, 3, 4, 6]),
+        cells=st.integers(min_value=2, max_value=8),
+        iterations=st.integers(min_value=1, max_value=8),
+    )
+    def test_distribution_never_changes_the_answer(
+        self, n_nodes, cells, iterations
+    ):
+        config = StencilConfig(
+            n_nodes=n_nodes, cells_per_node=cells, iterations=iterations
+        )
+        result = run_stencil(config)
+        assert result.extra["correct"], result.extra["max_error"]
+
+    @SLOW
+    @given(iterations=st.integers(min_value=1, max_value=12))
+    def test_mean_is_conserved_under_relaxation(self, iterations):
+        """Averaging with reflective boundaries conserves the mean."""
+        config = StencilConfig(n_nodes=4, cells_per_node=4, iterations=iterations)
+        result = run_stencil(config)
+        values = result.extra["computed"]
+        initial_mean = sum(range(16)) / 16.0
+        assert abs(sum(values) / len(values) - initial_mean) < 1e-9
+
+
+class TestBarrierProperties:
+    @SLOW
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=8),
+        episodes=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_episode_isolation(self, n_nodes, episodes, seed):
+        """No node ever enters episode k+1 before every node left
+        episode k, for any arrival jitter."""
+        machine = DSMMachine(n_nodes=n_nodes, seed=seed)
+        machine.create_group("g", root=0)
+        atomics = RemoteAtomics(machine)
+        barrier = CentralBarrier("b", "g", machine, atomics)
+        passes: list[tuple[int, int, float]] = []
+
+        def worker(node):
+            rng = node.sim.rng.stream(f"bp{node.id}")
+            for episode in range(episodes):
+                yield rng.uniform(0, 4e-6)
+                yield from barrier.wait(node)
+                passes.append((episode, node.id, node.sim.now))
+
+        for node in machine.nodes:
+            machine.spawn(worker(node), name=f"w{node.id}")
+        machine.run()
+        assert len(passes) == n_nodes * episodes
+        by_episode: dict[int, list[float]] = {}
+        for episode, _node, t in passes:
+            by_episode.setdefault(episode, []).append(t)
+        for episode in range(episodes - 1):
+            # The *releasing* write of episode k+1 cannot precede every
+            # pass of episode k: last pass of k <= first pass of k+1
+            # plus the release propagation slack.
+            assert min(by_episode[episode + 1]) >= min(by_episode[episode])

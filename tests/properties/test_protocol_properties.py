@@ -1,0 +1,135 @@
+"""Property-based tests for protocol components: the lock manager, the
+usage history, FIFO channels, and rollback snapshots."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locks.gwc_lock import GwcLockManager
+from repro.locks.history import UsageHistory
+from repro.memory.store import LocalStore
+from repro.memory.varspace import FREE_VALUE, LockDecl, grant_value, request_value
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.topology import Ring
+from repro.params import MachineParams
+from repro.sim.kernel import Simulator
+
+
+class TestLockManagerProperties:
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=40))
+    def test_fifo_service_and_single_holder(self, requesters):
+        """Whatever the request order: grants follow FIFO among distinct
+        requesters, with at most one holder at a time."""
+        mgr = GwcLockManager(LockDecl(name="L", group="g"))
+        pending: list[int] = []
+        granted: list[int] = []
+
+        def drain(outputs):
+            for value in outputs:
+                if value == FREE_VALUE:
+                    continue
+                holder = value - 1
+                granted.append(holder)
+
+        for node in requesters:
+            if node == mgr.holder or node in mgr.queue:
+                continue  # a real node never double-requests
+            pending.append(node)
+            drain(mgr.on_write(node, request_value(node)))
+            # Release with 50% duty: release whenever queue grows past 2.
+            while mgr.holder is not None and len(mgr.queue) > 2:
+                drain(mgr.on_write(mgr.holder, FREE_VALUE))
+        while mgr.holder is not None:
+            drain(mgr.on_write(mgr.holder, FREE_VALUE))
+        assert granted == [n for n in pending]
+
+    @settings(max_examples=60)
+    @given(st.lists(st.booleans(), max_size=200))
+    def test_history_bounded_and_monotone_response(self, samples):
+        hist = UsageHistory()
+        for busy in samples:
+            hist.update(1.0 if busy else 0.0)
+            assert 0.0 <= hist.value <= 1.0
+
+    @settings(max_examples=40)
+    @given(
+        st.floats(min_value=0.5, max_value=0.99),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_history_converges_to_sample(self, decay, n):
+        hist = UsageHistory(decay=decay)
+        for _ in range(n):
+            hist.observe_busy()
+        expected = 1.0 - decay**n
+        assert abs(hist.value - expected) < 1e-9
+
+
+class TestFifoChannelProperties:
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=200_000), min_size=1, max_size=40)
+    )
+    def test_arbitrary_size_mixes_never_reorder(self, sizes):
+        sim = Simulator()
+        net = Network(sim, Ring(3), MachineParams())
+        got: list[int] = []
+        net.attach(1, lambda msg: got.append(msg.payload))
+        for i, size in enumerate(sizes):
+            net.send(Message(src=0, dst=1, kind="k", payload=i, size_bytes=size))
+        sim.run()
+        assert got == list(range(len(sizes)))
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=10e-6),
+                st.integers(min_value=1, max_value=100_000),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_fifo_holds_with_staggered_send_times(self, sends):
+        sim = Simulator()
+        net = Network(sim, Ring(3), MachineParams())
+        got: list[int] = []
+        net.attach(2, lambda msg: got.append(msg.payload))
+        sends = sorted(sends, key=lambda s: s[0])
+        for i, (when, size) in enumerate(sends):
+            sim.at(
+                when,
+                lambda i=i, size=size: net.send(
+                    Message(src=0, dst=2, kind="k", payload=i, size_bytes=size)
+                ),
+            )
+        sim.run()
+        assert got == list(range(len(sends)))
+
+
+class TestSnapshotProperties:
+    @settings(max_examples=60)
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.integers(),
+            min_size=1,
+            max_size=10,
+        ),
+        st.data(),
+    )
+    def test_snapshot_restore_is_exact_inverse(self, values, data):
+        store = LocalStore(0)
+        for name, value in values.items():
+            store.declare(name, value)
+        names = tuple(values)
+        saved = store.snapshot(names)
+        # Arbitrary overwrites...
+        for name in names:
+            store.write(name, data.draw(st.integers()))
+        store.restore(saved)
+        for name, value in values.items():
+            assert store.read(name) == value

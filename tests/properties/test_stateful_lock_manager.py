@@ -1,0 +1,87 @@
+"""Stateful model checking of the GWC lock manager.
+
+Hypothesis drives random request/release sequences against
+:class:`GwcLockManager` while a trivially correct reference model
+(one holder slot + a FIFO list) runs alongside; after every step the
+implementation must agree with the model exactly, and every multicast
+the manager emits must be consistent with the model's transition.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.locks.gwc_lock import GwcLockManager
+from repro.memory.varspace import FREE_VALUE, LockDecl, grant_value, request_value
+
+NODES = list(range(6))
+
+
+class LockManagerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.manager = GwcLockManager(LockDecl(name="L", group="g"))
+        # Reference model.
+        self.holder: int | None = None
+        self.queue: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def _eligible_requesters(self):
+        busy = set(self.queue)
+        if self.holder is not None:
+            busy.add(self.holder)
+        return [n for n in NODES if n not in busy]
+
+    @precondition(lambda self: self._eligible_requesters())
+    @rule(data=st.data())
+    def request(self, data):
+        node = data.draw(st.sampled_from(self._eligible_requesters()))
+        out = self.manager.on_write(node, request_value(node))
+        if self.holder is None:
+            # Model: immediate grant.
+            self.holder = node
+            assert out == [grant_value(node)]
+        else:
+            self.queue.append(node)
+            assert out == []
+
+    @precondition(lambda self: self.holder is not None)
+    @rule()
+    def release(self):
+        node = self.holder
+        out = self.manager.on_write(node, FREE_VALUE)
+        if self.queue:
+            self.holder = self.queue.pop(0)
+            assert out == [grant_value(self.holder)]
+        else:
+            self.holder = None
+            assert out == [FREE_VALUE]
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def implementation_matches_model(self):
+        assert self.manager.holder == self.holder
+        assert self.manager.queue == self.queue
+
+    @invariant()
+    def holder_never_queued(self):
+        if self.manager.holder is not None:
+            assert self.manager.holder not in self.manager.queue
+
+    @invariant()
+    def queue_has_no_duplicates(self):
+        assert len(set(self.manager.queue)) == len(self.manager.queue)
+
+
+LockManagerMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestLockManagerStateful = LockManagerMachine.TestCase

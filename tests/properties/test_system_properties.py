@@ -1,0 +1,97 @@
+"""End-to-end property tests: whole-system invariants must hold for
+arbitrary seeds, sizes, and contention parameters."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.counter import CounterConfig, run_counter
+from repro.workloads.pipeline import PipelineConfig, run_pipeline
+from repro.workloads.synthetic import SyntheticConfig, run_synthetic
+
+SLOW = settings(max_examples=12, deadline=None)
+
+
+class TestCounterInvariants:
+    @SLOW
+    @given(
+        system=st.sampled_from(["gwc", "gwc_optimistic", "release"]),
+        n_nodes=st.integers(min_value=1, max_value=7),
+        increments=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_no_lost_updates_ever(self, system, n_nodes, increments, seed):
+        result = run_counter(
+            CounterConfig(
+                system=system,
+                n_nodes=n_nodes,
+                increments_per_node=increments,
+                seed=seed,
+            )
+        )
+        assert result.extra["correct"]
+        assert result.extra["converged"]
+
+    @SLOW
+    @given(
+        threshold=st.floats(min_value=0.0, max_value=1.0),
+        think=st.floats(min_value=0.5e-6, max_value=40e-6),
+    )
+    def test_any_threshold_is_safe(self, threshold, think):
+        """The optimism threshold is a performance knob, never a
+        correctness knob."""
+        result = run_counter(
+            CounterConfig(
+                system="gwc_optimistic",
+                n_nodes=5,
+                increments_per_node=5,
+                think_time=think,
+                threshold=threshold,
+            )
+        )
+        assert result.extra["correct"]
+
+
+class TestSyntheticInvariants:
+    @SLOW
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_nodes=st.integers(min_value=2, max_value=6),
+    )
+    def test_random_interleavings_serialize(self, seed, n_nodes):
+        result = run_synthetic(
+            SyntheticConfig(
+                system="gwc_optimistic",
+                n_nodes=n_nodes,
+                sections_per_node=6,
+                seed=seed,
+            )
+        )
+        assert result.extra["correct"]
+        assert result.extra["converged"]
+
+
+class TestPipelineInvariants:
+    @SLOW
+    @given(
+        system=st.sampled_from(["gwc", "gwc_optimistic"]),
+        n_nodes=st.sampled_from([1, 2, 4, 8]),
+        blocks=st.integers(min_value=1, max_value=4),
+    )
+    def test_accumulator_always_exact(self, system, n_nodes, blocks):
+        data_size = n_nodes * blocks
+        result = run_pipeline(
+            PipelineConfig(system=system, n_nodes=n_nodes, data_size=data_size)
+        )
+        assert result.extra["acc_correct"]
+
+    @SLOW
+    @given(n_nodes=st.sampled_from([2, 4, 8]))
+    def test_power_never_exceeds_ideal(self, n_nodes):
+        result = run_pipeline(
+            PipelineConfig(
+                system="gwc_optimistic", n_nodes=n_nodes, data_size=n_nodes * 8
+            )
+        )
+        assert result.speedup <= result.extra["ideal_power"] + 1e-9

@@ -1,0 +1,69 @@
+"""Property-based tests: topology distances form a metric and spanning
+trees preserve root distances."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.spanning_tree import build_bfs_tree
+from repro.net.topology import MeshTorus, Ring, make_topology
+
+sizes = st.integers(min_value=1, max_value=40)
+kinds = st.sampled_from(["mesh_torus", "ring", "star", "fully_connected"])
+
+
+class TestMetricProperties:
+    @settings(max_examples=60)
+    @given(kinds, sizes, st.data())
+    def test_distance_is_a_metric(self, kind, n, data):
+        topo = make_topology(kind, n)
+        node = st.integers(min_value=0, max_value=n - 1)
+        a, b, c = data.draw(node), data.draw(node), data.draw(node)
+        assert topo.hops(a, a) == 0
+        assert topo.hops(a, b) == topo.hops(b, a)
+        assert topo.hops(a, b) >= (1 if a != b else 0)
+        assert topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c)
+
+    @settings(max_examples=40)
+    @given(sizes, st.data())
+    def test_mesh_neighbors_consistent_with_distance(self, n, data):
+        topo = MeshTorus(n)
+        node = data.draw(st.integers(min_value=0, max_value=n - 1))
+        for other in topo.neighbors(node):
+            assert topo.hops(node, other) == 1
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=2, max_value=60), st.data())
+    def test_ring_distance_bounded_by_half(self, n, data):
+        ring = Ring(n)
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=n - 1))
+        assert ring.hops(a, b) <= n // 2
+
+
+class TestSpanningTreeProperties:
+    @settings(max_examples=50)
+    @given(kinds, st.integers(min_value=1, max_value=30), st.data())
+    def test_tree_distance_equals_metric_distance(self, kind, n, data):
+        topo = make_topology(kind, n)
+        root = data.draw(st.integers(min_value=0, max_value=n - 1))
+        members = data.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1), min_size=1)
+        )
+        members.add(root)
+        tree = build_bfs_tree(topo, root, tuple(sorted(members)))
+        tree.validate(topo)
+        for member in members:
+            assert tree.depth_hops[member] == topo.hops(root, member)
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=2, max_value=30), st.data())
+    def test_every_member_reaches_root(self, n, data):
+        topo = MeshTorus(n)
+        root = data.draw(st.integers(min_value=0, max_value=n - 1))
+        tree = build_bfs_tree(topo, root, tuple(range(n)))
+        for member in range(n):
+            path = tree.path_to_root(member)
+            assert path[-1] == root
+            assert len(set(path)) == len(path)  # no repeats

@@ -1,0 +1,65 @@
+"""Unit tests for the closed-form pipeline model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.analytic import predict_power, run_analytic_validation
+from repro.params import PAPER_PARAMS, MachineParams
+from repro.workloads.pipeline import PipelineConfig
+
+
+class TestPredictPower:
+    def test_zero_delay_gives_ideal_power(self):
+        config = PipelineConfig(n_nodes=4, data_size=64)
+        zero = PAPER_PARAMS.zero_delay()
+        predicted = predict_power(config, optimistic=False, params=zero)
+        assert predicted == pytest.approx(config.ideal_power(), rel=1e-9)
+
+    def test_optimistic_never_below_regular(self):
+        for n in (2, 4, 8, 16):
+            config = PipelineConfig(n_nodes=n, data_size=64)
+            opt = predict_power(config, optimistic=True)
+            reg = predict_power(config, optimistic=False)
+            assert opt >= reg
+
+    def test_power_declines_with_size(self):
+        powers = [
+            predict_power(PipelineConfig(n_nodes=n, data_size=64), optimistic=False)
+            for n in (2, 8, 32, 128)
+        ]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_full_overlap_when_section_covers_round_trip(self):
+        """With M far larger than any round trip, the optimistic model
+        predicts the lock delay fully hidden (only the save cost left)."""
+        config = PipelineConfig(n_nodes=4, data_size=64, local_time=1e-3)
+        opt = predict_power(config, optimistic=True)
+        # Compare against a hand-built period without any lock term.
+        reg = predict_power(config, optimistic=False)
+        assert opt > reg
+
+    def test_bigger_tokens_cost_power(self):
+        small = predict_power(
+            PipelineConfig(n_nodes=8, data_size=64, item_bytes=64),
+            optimistic=False,
+        )
+        big = predict_power(
+            PipelineConfig(n_nodes=8, data_size=64, item_bytes=4096),
+            optimistic=False,
+        )
+        assert big < small
+
+
+class TestValidation:
+    def test_model_matches_simulation_closely(self):
+        rows = run_analytic_validation(sizes=(2, 8), data_size=64)
+        for row in rows:
+            assert row.gwc_error < 0.05
+            assert row.optimistic_error < 0.05
+
+    def test_hop_latency_scaling_matches(self):
+        """The model tracks the simulator across a cost-model change."""
+        slow = MachineParams(hop_latency=800e-9)
+        rows = run_analytic_validation(sizes=(8,), data_size=64, params=slow)
+        assert rows[0].gwc_error < 0.05

@@ -1,0 +1,62 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.ascii_chart import render_chart
+
+
+class TestRenderChart:
+    def test_single_series_renders(self):
+        text = render_chart({"s": [(1, 1.0), (2, 2.0), (3, 3.0)]})
+        assert "o=s" in text
+        assert text.count("o") >= 3 + 1  # 3 points + legend
+
+    def test_axis_labels_show_extremes(self):
+        text = render_chart({"s": [(1, 0.5), (10, 4.5)]})
+        assert "4.5" in text
+        assert "0.5" in text
+        assert "10" in text
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = render_chart(
+            {"a": [(1, 1.0)], "b": [(1, 2.0)], "c": [(1, 3.0)]}
+        )
+        assert "o=a" in text
+        assert "*=b" in text
+        assert "+=c" in text
+
+    def test_title_included(self):
+        text = render_chart({"s": [(1, 1.0)]}, title="My Chart")
+        assert text.startswith("My Chart")
+
+    def test_log_x_spacing(self):
+        """On a log-2 axis, 2->4 and 4->8 land equidistant columns."""
+        text = render_chart(
+            {"s": [(2, 1.0), (4, 1.0), (8, 1.0)]}, width=41, logx=True
+        )
+        row = next(line for line in text.splitlines() if "o" in line and "|" in line)
+        cols = [i for i, ch in enumerate(row) if ch == "o"]
+        assert len(cols) == 3
+        assert cols[1] - cols[0] == cols[2] - cols[1]
+
+    def test_flat_series_does_not_crash(self):
+        text = render_chart({"s": [(1, 2.0), (2, 2.0)]})
+        assert "o" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_chart({})
+        with pytest.raises(ExperimentError):
+            render_chart({"s": []})
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ExperimentError):
+            render_chart({"s": [(0, 1.0)]}, logx=True)
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [(1, float(i))] for i in range(9)}
+        with pytest.raises(ExperimentError):
+            render_chart(series)

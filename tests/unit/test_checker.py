@@ -1,0 +1,90 @@
+"""Unit tests for the mutual-exclusion / serializability checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.checker import MutualExclusionChecker
+from repro.errors import ConsistencyError
+
+
+class TestOccupancy:
+    def test_sequential_sections_pass(self):
+        checker = MutualExclusionChecker()
+        checker.enter("L", 0, 1.0)
+        checker.exit("L", 0, 2.0)
+        checker.enter("L", 1, 3.0)
+        checker.exit("L", 1, 4.0)
+        checker.verify_no_occupancy()
+        assert len(checker.spans) == 2
+
+    def test_overlap_detected(self):
+        checker = MutualExclusionChecker()
+        checker.enter("L", 0, 1.0)
+        with pytest.raises(ConsistencyError, match="mutual exclusion violated"):
+            checker.enter("L", 1, 1.5)
+
+    def test_different_locks_do_not_conflict(self):
+        checker = MutualExclusionChecker()
+        checker.enter("L1", 0, 1.0)
+        checker.enter("L2", 1, 1.0)
+        checker.exit("L1", 0, 2.0)
+        checker.exit("L2", 1, 2.0)
+        checker.verify_no_occupancy()
+
+    def test_exit_without_enter_rejected(self):
+        checker = MutualExclusionChecker()
+        with pytest.raises(ConsistencyError, match="without a matching enter"):
+            checker.exit("L", 0, 1.0)
+
+    def test_exit_by_wrong_node_rejected(self):
+        checker = MutualExclusionChecker()
+        checker.enter("L", 0, 1.0)
+        with pytest.raises(ConsistencyError):
+            checker.exit("L", 1, 2.0)
+
+    def test_unclosed_section_detected(self):
+        checker = MutualExclusionChecker()
+        checker.enter("L", 0, 1.0)
+        with pytest.raises(ConsistencyError, match="still occupied"):
+            checker.verify_no_occupancy()
+
+    def test_occupancy_of_filters_by_lock(self):
+        checker = MutualExclusionChecker()
+        checker.enter("L1", 0, 1.0)
+        checker.exit("L1", 0, 2.0)
+        checker.enter("L2", 0, 3.0)
+        checker.exit("L2", 0, 4.0)
+        assert len(checker.occupancy_of("L1")) == 1
+        assert checker.occupancy_of("L1")[0].lock == "L1"
+
+
+class TestRmwChain:
+    def test_unbroken_chain_passes(self):
+        checker = MutualExclusionChecker()
+        for i in range(5):
+            checker.observe_rmw("c", i, i + 1)
+        checker.verify_chain("c", 0)
+
+    def test_lost_update_detected(self):
+        checker = MutualExclusionChecker()
+        checker.observe_rmw("c", 0, 1)
+        checker.observe_rmw("c", 0, 1)  # read a stale 0: lost update
+        with pytest.raises(ConsistencyError, match="lost update"):
+            checker.verify_chain("c", 0)
+
+    def test_wrong_initial_detected(self):
+        checker = MutualExclusionChecker()
+        checker.observe_rmw("c", 5, 6)
+        with pytest.raises(ConsistencyError):
+            checker.verify_chain("c", 0)
+
+    def test_empty_chain_passes(self):
+        MutualExclusionChecker().verify_chain("never_touched", 0)
+
+    def test_chains_are_per_counter(self):
+        checker = MutualExclusionChecker()
+        checker.observe_rmw("a", 0, 1)
+        checker.observe_rmw("b", 0, 10)
+        checker.verify_chain("a", 0)
+        checker.verify_chain("b", 0)

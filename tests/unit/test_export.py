@@ -1,0 +1,77 @@
+"""Unit tests for CSV export."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.export import to_csv, to_csv_columns, write_csv
+
+
+@dataclass(frozen=True)
+class _Row:
+    n: int
+    value: float
+
+
+class TestToCsv:
+    def test_dataclass_rows(self):
+        text = to_csv([_Row(1, 2.5), _Row(2, 3.5)])
+        lines = text.strip().splitlines()
+        assert lines[0] == "n,value"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == "2,3.5"
+
+    def test_dict_rows(self):
+        text = to_csv([{"a": 1, "b": "x"}])
+        assert text.strip().splitlines() == ["a,b", "1,x"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            to_csv([])
+
+    def test_inconsistent_fields_rejected(self):
+        with pytest.raises(ExperimentError):
+            to_csv([{"a": 1}, {"b": 2}])
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ExperimentError):
+            to_csv([(1, 2)])
+
+
+class TestToCsvColumns:
+    def test_positional_rows(self):
+        text = to_csv_columns(["x", "y"], [[1, 2], [3, 4]])
+        assert text.strip().splitlines() == ["x,y", "1,2", "3,4"]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            to_csv_columns(["x"], [[1, 2]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            to_csv_columns(["x"], [])
+
+
+class TestWriteCsv:
+    def test_writes_file(self, tmp_path):
+        target = write_csv(tmp_path / "sub" / "out.csv", [_Row(1, 2.0)])
+        assert target.exists()
+        assert target.read_text().startswith("n,value")
+
+
+class TestBenchArchives:
+    def test_figure_csvs_parse(self):
+        """The archived figure CSVs round-trip through the csv module."""
+        import csv
+        import pathlib
+
+        results = pathlib.Path("benchmarks/results")
+        for name in ("figure1.csv", "figure2.csv"):
+            path = results / name
+            if not path.exists():
+                pytest.skip(f"{name} not yet generated")
+            rows = list(csv.DictReader(path.open()))
+            assert rows, name

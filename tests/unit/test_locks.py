@@ -1,0 +1,119 @@
+"""Unit tests for the GWC lock manager and the usage history."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LockError, LockStateError
+from repro.locks.gwc_lock import GwcLockManager
+from repro.locks.history import UsageHistory
+from repro.memory.varspace import FREE_VALUE, LockDecl, grant_value, request_value
+
+
+def make_manager():
+    return GwcLockManager(LockDecl(name="L", group="g", protects=()))
+
+
+class TestGwcLockManager:
+    def test_free_lock_granted_immediately(self):
+        mgr = make_manager()
+        out = mgr.on_write(origin=2, value=request_value(2))
+        assert out == [grant_value(2)]
+        assert mgr.holds(2)
+        assert mgr.grants == 1
+
+    def test_busy_lock_queues_request(self):
+        mgr = make_manager()
+        mgr.on_write(2, request_value(2))
+        out = mgr.on_write(3, request_value(3))
+        assert out == []
+        assert mgr.queue == [3]
+        assert mgr.max_queue == 1
+
+    def test_release_grants_next_in_fifo_order(self):
+        mgr = make_manager()
+        mgr.on_write(2, request_value(2))
+        mgr.on_write(3, request_value(3))
+        mgr.on_write(1, request_value(1))
+        out = mgr.on_write(2, FREE_VALUE)
+        assert out == [grant_value(3)]
+        assert mgr.holds(3)
+        out = mgr.on_write(3, FREE_VALUE)
+        assert out == [grant_value(1)]
+
+    def test_release_with_empty_queue_propagates_free(self):
+        mgr = make_manager()
+        mgr.on_write(2, request_value(2))
+        out = mgr.on_write(2, FREE_VALUE)
+        assert out == [FREE_VALUE]
+        assert mgr.holder is None
+        assert mgr.releases == 1
+
+    def test_release_by_non_holder_rejected(self):
+        mgr = make_manager()
+        mgr.on_write(2, request_value(2))
+        with pytest.raises(LockStateError):
+            mgr.on_write(3, FREE_VALUE)
+
+    def test_double_request_rejected(self):
+        mgr = make_manager()
+        mgr.on_write(2, request_value(2))
+        with pytest.raises(LockStateError):
+            mgr.on_write(2, request_value(2))
+
+    def test_forged_request_rejected(self):
+        mgr = make_manager()
+        with pytest.raises(LockStateError):
+            mgr.on_write(origin=1, value=request_value(2))
+
+    def test_grant_value_write_rejected(self):
+        mgr = make_manager()
+        with pytest.raises(LockStateError):
+            mgr.on_write(1, grant_value(1))
+
+
+class TestUsageHistory:
+    def test_paper_formula(self):
+        hist = UsageHistory(decay=0.95)
+        hist.update(1.0)
+        assert hist.value == pytest.approx(0.05)
+        hist.update(1.0)
+        assert hist.value == pytest.approx(0.95 * 0.05 + 0.05)
+
+    def test_threshold_gate(self):
+        hist = UsageHistory(decay=0.95, threshold=0.30)
+        assert not hist.indicates_usage()
+        # About eight consecutive busy observations push the EWMA past
+        # the paper's 0.30 example threshold.
+        for _ in range(8):
+            hist.observe_busy()
+        assert hist.indicates_usage()
+
+    def test_decays_back_below_threshold(self):
+        hist = UsageHistory(decay=0.95, threshold=0.30)
+        for _ in range(20):
+            hist.observe_busy()
+        assert hist.indicates_usage()
+        for _ in range(40):
+            hist.observe_free()
+        assert not hist.indicates_usage()
+
+    def test_value_stays_in_unit_interval(self):
+        hist = UsageHistory()
+        for i in range(100):
+            hist.update(i % 2)
+            assert 0.0 <= hist.value <= 1.0
+
+    def test_bad_sample_rejected(self):
+        with pytest.raises(LockError):
+            UsageHistory().update(1.5)
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(LockError):
+            UsageHistory(decay=-0.1)
+
+    def test_sample_count(self):
+        hist = UsageHistory()
+        hist.observe_busy()
+        hist.observe_free()
+        assert hist.samples == 2

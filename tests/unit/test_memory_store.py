@@ -1,0 +1,150 @@
+"""Unit tests for local stores and variable/lock declarations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LockError, MemoryError_, UnknownVariableError
+from repro.memory.store import LocalStore
+from repro.memory.varspace import (
+    FREE_VALUE,
+    LockDecl,
+    VarDecl,
+    grant_value,
+    holder_of,
+    request_value,
+    requester_of,
+)
+from repro.sim.kernel import Simulator
+
+
+class TestLockValueEncoding:
+    def test_request_and_grant_are_distinct(self):
+        for node in range(5):
+            assert request_value(node) < 0
+            assert grant_value(node) > 0
+            assert request_value(node) == -grant_value(node)
+
+    def test_zero_node_id_encodes_cleanly(self):
+        assert request_value(0) == -1
+        assert grant_value(0) == 1
+
+    def test_free_value_never_collides_with_requests(self):
+        for node in range(10_000):
+            assert request_value(node) != FREE_VALUE
+
+    def test_holder_of(self):
+        assert holder_of(grant_value(3)) == 3
+        assert holder_of(request_value(3)) is None
+        assert holder_of(FREE_VALUE) is None
+
+    def test_requester_of(self):
+        assert requester_of(request_value(7)) == 7
+        assert requester_of(grant_value(7)) is None
+        assert requester_of(FREE_VALUE) is None
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(LockError):
+            request_value(-1)
+        with pytest.raises(LockError):
+            grant_value(-2)
+
+
+class TestVarDecl:
+    def test_mutex_flag(self):
+        plain = VarDecl(name="x", group="g")
+        guarded = VarDecl(name="y", group="g", mutex_lock="L")
+        assert not plain.is_mutex_data
+        assert guarded.is_mutex_data
+
+    def test_lock_decl_rejects_duplicate_protects(self):
+        with pytest.raises(MemoryError_):
+            LockDecl(name="L", group="g", protects=("a", "a"))
+
+
+class TestLocalStore:
+    def test_read_write_roundtrip(self):
+        store = LocalStore(0)
+        store.declare("x", 10)
+        assert store.read("x") == 10
+        store.write("x", 20)
+        assert store.read("x") == 20
+        assert store.write_counts["x"] == 1
+
+    def test_undeclared_read_rejected(self):
+        with pytest.raises(UnknownVariableError):
+            LocalStore(0).read("ghost")
+
+    def test_undeclared_write_rejected(self):
+        with pytest.raises(UnknownVariableError):
+            LocalStore(0).write("ghost", 1)
+
+    def test_signal_fires_on_write(self):
+        store = LocalStore(0)
+        store.declare("x", 0)
+        seen = []
+        store.signal_for("x").add_callback(seen.append)
+        store.write("x", 5)
+        assert seen == [5]
+
+    def test_snapshot_restore_roundtrip(self):
+        store = LocalStore(0)
+        store.declare("a", 1)
+        store.declare("b", 2)
+        saved = store.snapshot(("a", "b"))
+        store.write("a", 100)
+        store.write("b", 200)
+        store.restore(saved)
+        assert store.read("a") == 1
+        assert store.read("b") == 2
+
+    def test_wait_until_immediate_when_predicate_holds(self):
+        sim = Simulator()
+        store = LocalStore(0)
+        store.declare("x", 5)
+        got = []
+
+        def proc():
+            value = yield from store.wait_until("x", lambda v: v >= 5)
+            got.append((sim.now, value))
+
+        sim.spawn(proc(), name="p")
+        sim.run()
+        assert got == [(0.0, 5)]
+
+    def test_wait_until_wakes_on_satisfying_write(self):
+        sim = Simulator()
+        store = LocalStore(0)
+        store.declare("x", 0)
+        got = []
+
+        def proc():
+            value = yield from store.wait_until("x", lambda v: v == 3)
+            got.append((sim.now, value))
+
+        sim.spawn(proc(), name="p")
+        sim.schedule(1.0, lambda: store.write("x", 1))
+        sim.schedule(2.0, lambda: store.write("x", 3))
+        sim.run()
+        assert got == [(2.0, 3)]
+
+    def test_wait_until_rereads_after_burst_of_writes(self):
+        """Several writes landing before the waiter resumes must not
+        leave it acting on a stale intermediate value."""
+        sim = Simulator()
+        store = LocalStore(0)
+        store.declare("x", 0)
+        got = []
+
+        def burst():
+            store.write("x", 1)  # wakes the waiter...
+            store.write("x", 9)  # ...but this lands first
+
+        def proc():
+            value = yield from store.wait_until("x", lambda v: v > 0)
+            got.append(value)
+
+        sim.spawn(proc(), name="p")
+        sim.schedule(1.0, burst)
+        sim.run()
+        assert got == [9]

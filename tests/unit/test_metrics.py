@@ -1,0 +1,117 @@
+"""Unit tests for metrics, speedup math, and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.collector import MachineMetrics, NodeMetrics
+from repro.metrics.report import format_table
+from repro.metrics.speedup import efficiency, network_power, relative_gain, speedup
+
+
+class TestNodeMetrics:
+    def test_buckets(self):
+        node = NodeMetrics(node=0)
+        node.add_time("useful", 2.0)
+        node.add_time("overhead", 0.5)
+        node.add_time("wasted", 0.25)
+        assert node.useful == 2.0
+        assert node.overhead == 0.5
+        assert node.wasted == 0.25
+        assert node.idle(4.0) == pytest.approx(1.25)
+
+    def test_unknown_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            NodeMetrics(node=0).add_time("fun", 1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            NodeMetrics(node=0).add_time("useful", -1.0)
+
+    def test_efficiency(self):
+        node = NodeMetrics(node=0)
+        node.add_time("useful", 3.0)
+        assert node.efficiency(4.0) == pytest.approx(0.75)
+        assert node.efficiency(0.0) == 0.0
+
+    def test_counters(self):
+        node = NodeMetrics(node=0)
+        node.count("x")
+        node.count("x", 4)
+        assert node.counters["x"] == 5
+
+
+class TestMachineMetrics:
+    def test_speedup_is_total_useful_over_elapsed(self):
+        metrics = MachineMetrics(4)
+        for i in range(4):
+            metrics[i].add_time("useful", 2.0)
+        metrics.elapsed = 4.0
+        assert metrics.speedup() == pytest.approx(2.0)
+        assert metrics.average_efficiency() == pytest.approx(0.5)
+
+    def test_speedup_equals_avg_efficiency_times_size(self):
+        """The paper's two phrasings of speedup agree."""
+        metrics = MachineMetrics(3)
+        metrics[0].add_time("useful", 1.0)
+        metrics[1].add_time("useful", 2.0)
+        metrics[2].add_time("useful", 3.0)
+        metrics.elapsed = 10.0
+        assert metrics.speedup() == pytest.approx(
+            metrics.average_efficiency() * metrics.n_nodes
+        )
+
+    def test_total_counter(self):
+        metrics = MachineMetrics(2)
+        metrics[0].count("a", 2)
+        metrics[1].count("a", 3)
+        assert metrics.total_counter("a") == 5
+        assert metrics.total_counter("missing") == 0
+
+    def test_summary_keys(self):
+        metrics = MachineMetrics(1)
+        metrics.elapsed = 1.0
+        summary = metrics.summary()
+        assert set(summary) == {"elapsed", "useful", "wasted", "speedup", "efficiency"}
+
+
+class TestSpeedupMath:
+    def test_efficiency(self):
+        assert efficiency(1.0, 2.0) == 0.5
+        assert efficiency(1.0, 0.0) == 0.0
+
+    def test_negative_useful_rejected(self):
+        with pytest.raises(ValueError):
+            efficiency(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            speedup(-1.0, 2.0)
+
+    def test_network_power_alias(self):
+        assert network_power(6.0, 2.0) == speedup(6.0, 2.0) == 3.0
+
+    def test_relative_gain(self):
+        assert relative_gain(2.1, 1.0) == pytest.approx(2.1)
+        with pytest.raises(ValueError):
+            relative_gain(1.0, 0.0)
+
+
+class TestFormatTable:
+    def test_renders_aligned_columns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].split() == ["a", "bb"]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Title")
+        assert text.startswith("Title\n=====")
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1234.5678], [0.0000001], [0.5]])
+        assert "1.235e+03" in text
+        assert "1.000e-07" in text
+        assert "0.500" in text

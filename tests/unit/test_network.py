@@ -1,0 +1,143 @@
+"""Unit tests for the network layer: delays, FIFO channels, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.topology import MeshTorus, Ring
+from repro.params import MachineParams
+from repro.sim.kernel import Simulator
+
+
+def make_net(n=4, topology=None, **params):
+    sim = Simulator()
+    top = topology if topology is not None else Ring(n)
+    net = Network(sim, top, MachineParams(**params))
+    return sim, net
+
+
+class TestDelays:
+    def test_delay_formula(self):
+        sim, net = make_net(4, hop_latency=100e-9, link_bandwidth_bits=8e8)
+        # 1 hop, 100 bytes at 1e8 B/s: 100ns + 1us
+        assert net.delay(0, 1, 100) == pytest.approx(100e-9 + 1e-6)
+
+    def test_self_send_costs_serialization_only(self):
+        sim, net = make_net(4)
+        assert net.delay(2, 2, 80) == pytest.approx(80 / net.params.link_bandwidth)
+
+    def test_delivery_time_and_payload(self):
+        sim, net = make_net(4)
+        got = []
+        net.attach(1, lambda msg: got.append((sim.now, msg.payload)))
+        msg = Message(src=0, dst=1, kind="test", payload="hello", size_bytes=16)
+        arrival = net.send(msg)
+        sim.run()
+        assert got == [(arrival, "hello")]
+
+    def test_send_requires_attached_handler(self):
+        sim, net = make_net(4)
+        with pytest.raises(NetworkError, match="no handler"):
+            net.send(Message(src=0, dst=1, kind="test"))
+
+    def test_double_attach_rejected(self):
+        sim, net = make_net(4)
+        net.attach(0, lambda m: None)
+        with pytest.raises(NetworkError, match="already"):
+            net.attach(0, lambda m: None)
+
+    def test_attach_out_of_range_rejected(self):
+        sim, net = make_net(4)
+        with pytest.raises(NetworkError):
+            net.attach(9, lambda m: None)
+
+
+class TestFifoChannels:
+    def test_small_message_cannot_overtake_large(self):
+        """A later, smaller message on the same channel arrives after an
+        earlier, larger one — the property GWC sequencing rests on."""
+        sim, net = make_net(4)
+        got = []
+        net.attach(1, lambda msg: got.append(msg.payload))
+        net.send(Message(src=0, dst=1, kind="big", payload="big", size_bytes=100_000))
+        net.send(Message(src=0, dst=1, kind="small", payload="small", size_bytes=8))
+        sim.run()
+        assert got == ["big", "small"]
+
+    def test_different_channels_are_independent(self):
+        sim, net = make_net(4)
+        got = []
+        net.attach(1, lambda msg: got.append(msg.payload))
+        net.send(Message(src=0, dst=1, kind="big", payload="big", size_bytes=100_000))
+        net.send(Message(src=2, dst=1, kind="small", payload="small", size_bytes=8))
+        sim.run()
+        assert got == ["small", "big"]
+
+    def test_many_messages_preserve_order(self):
+        sim, net = make_net(4)
+        got = []
+        net.attach(2, lambda msg: got.append(msg.payload))
+        rng_sizes = [8, 5000, 16, 80_000, 24, 8, 100_000, 8]
+        for i, size in enumerate(rng_sizes):
+            net.send(Message(src=0, dst=2, kind="k", payload=i, size_bytes=size))
+        sim.run()
+        assert got == list(range(len(rng_sizes)))
+
+
+class TestStats:
+    def test_counters(self):
+        sim, net = make_net(4)
+        net.attach(1, lambda m: None)
+        net.send(Message(src=0, dst=1, kind="a", size_bytes=10))
+        net.send(Message(src=0, dst=1, kind="a", size_bytes=20))
+        net.send(Message(src=0, dst=1, kind="b", size_bytes=5))
+        assert net.stats.messages == 3
+        assert net.stats.bytes == 35
+        assert net.stats.by_kind["a"] == 2
+        assert net.stats.by_kind["b"] == 1
+
+    def test_sent_at_stamped(self):
+        sim, net = make_net(4)
+        net.attach(1, lambda m: None)
+        msg = Message(src=0, dst=1, kind="x")
+        sim.schedule(3.0, lambda: net.send(msg))
+        sim.run()
+        assert msg.sent_at == 3.0
+
+
+class TestWithMeshTorus:
+    def test_farther_nodes_take_longer(self):
+        sim, net = make_net(topology=MeshTorus(16))
+        near = net.delay(0, 1, 8)
+        far = net.delay(0, 10, 8)  # two rows + two cols away
+        assert far > near
+
+
+class TestPerNodeStats:
+    def test_inbound_outbound_counters(self):
+        sim, net = make_net(4)
+        net.attach(1, lambda m: None)
+        net.attach(2, lambda m: None)
+        net.send(Message(src=0, dst=1, kind="a"))
+        net.send(Message(src=0, dst=2, kind="a"))
+        net.send(Message(src=3, dst=1, kind="a"))
+        assert net.stats.outbound[0] == 2
+        assert net.stats.outbound[3] == 1
+        assert net.stats.inbound[1] == 2
+        assert net.stats.inbound[2] == 1
+
+    def test_hottest_receiver(self):
+        sim, net = make_net(4)
+        net.attach(1, lambda m: None)
+        net.attach(2, lambda m: None)
+        for _ in range(3):
+            net.send(Message(src=0, dst=1, kind="a"))
+        net.send(Message(src=0, dst=2, kind="a"))
+        assert net.stats.hottest_receiver() == (1, 3)
+
+    def test_hottest_receiver_empty(self):
+        sim, net = make_net(4)
+        assert net.stats.hottest_receiver() == (-1, 0)

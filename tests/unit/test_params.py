@@ -1,0 +1,74 @@
+"""Unit tests for the machine cost parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.params import PAPER_PARAMS, MachineParams
+
+
+class TestPaperParams:
+    def test_paper_constants(self):
+        assert PAPER_PARAMS.cpu_flops == 33e6
+        assert PAPER_PARAMS.memory_bandwidth == 400e6
+        assert PAPER_PARAMS.hop_latency == 200e-9
+        assert PAPER_PARAMS.link_bandwidth_bits == 1e9
+
+    def test_link_bandwidth_bytes(self):
+        assert PAPER_PARAMS.link_bandwidth == 1e9 / 8
+
+    def test_compute_time(self):
+        assert PAPER_PARAMS.compute_time(33e6) == pytest.approx(1.0)
+        assert PAPER_PARAMS.compute_time(0) == 0.0
+
+    def test_memory_time(self):
+        assert PAPER_PARAMS.memory_time(400e6) == pytest.approx(1.0)
+
+    def test_wire_time_composition(self):
+        # 3 hops of 200ns plus 125 bytes at 125 MB/s = 600ns + 1us.
+        assert PAPER_PARAMS.wire_time(125, 3) == pytest.approx(600e-9 + 1e-6)
+
+    def test_wire_time_zero_hops(self):
+        assert PAPER_PARAMS.wire_time(125, 0) == pytest.approx(1e-6)
+
+    def test_packet_time_uses_packet_bytes(self):
+        params = MachineParams(packet_bytes=125)
+        assert params.packet_time(1) == pytest.approx(200e-9 + 1e-6)
+
+
+class TestZeroDelay:
+    def test_zero_delay_removes_network_costs(self):
+        zero = PAPER_PARAMS.zero_delay()
+        assert zero.wire_time(10_000, 50) == 0.0
+
+    def test_zero_delay_keeps_compute_costs(self):
+        zero = PAPER_PARAMS.zero_delay()
+        assert zero.compute_time(33e6) == pytest.approx(1.0)
+        assert zero.memory_time(400e6) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            MachineParams(cpu_flops=0)
+        with pytest.raises(ExperimentError):
+            MachineParams(memory_bandwidth=-1)
+        with pytest.raises(ExperimentError):
+            MachineParams(hop_latency=-1e-9)
+        with pytest.raises(ExperimentError):
+            MachineParams(packet_bytes=0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ExperimentError):
+            PAPER_PARAMS.compute_time(-1)
+        with pytest.raises(ExperimentError):
+            PAPER_PARAMS.memory_time(-1)
+        with pytest.raises(ExperimentError):
+            PAPER_PARAMS.wire_time(-1, 0)
+        with pytest.raises(ExperimentError):
+            PAPER_PARAMS.wire_time(1, -1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_PARAMS.cpu_flops = 1  # type: ignore[misc]

@@ -1,0 +1,94 @@
+"""Unit tests for multi-seed replication statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.replication import replicate, replicate_many, summarize
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        metric = summarize("m", [1.0, 2.0, 3.0])
+        assert metric.mean == pytest.approx(2.0)
+        assert metric.std == pytest.approx(1.0)
+        assert metric.n == 3
+
+    def test_ci_contains_mean(self):
+        metric = summarize("m", [1.0, 2.0, 3.0, 4.0])
+        assert metric.ci_low < metric.mean < metric.ci_high
+
+    def test_ci_uses_t_distribution(self):
+        # n=3, dof=2: t = 4.30; half width = 4.30 * 1.0 / sqrt(3)
+        metric = summarize("m", [1.0, 2.0, 3.0])
+        assert metric.ci_half_width == pytest.approx(4.30 * 1.0 / 3**0.5, rel=0.01)
+
+    def test_single_value_collapses(self):
+        metric = summarize("m", [5.0])
+        assert metric.mean == 5.0
+        assert metric.ci_low == metric.ci_high == 5.0
+
+    def test_identical_values_zero_width(self):
+        metric = summarize("m", [2.0] * 6)
+        assert metric.std == 0.0
+        assert metric.ci_half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize("m", [])
+
+    def test_str_rendering(self):
+        text = str(summarize("speedup", [1.0, 2.0]))
+        assert "speedup" in text
+        assert "n=2" in text
+
+
+class TestReplicate:
+    def test_calls_run_per_seed(self):
+        seen = []
+
+        def run(seed: int) -> float:
+            seen.append(seed)
+            return float(seed)
+
+        metric = replicate(run, seeds=range(4), name="x")
+        assert seen == [0, 1, 2, 3]
+        assert metric.mean == pytest.approx(1.5)
+
+    def test_replicate_many(self):
+        def run(seed: int) -> dict[str, float]:
+            return {"a": float(seed), "b": 2.0}
+
+        metrics = replicate_many(run, seeds=range(3))
+        assert metrics["a"].mean == pytest.approx(1.0)
+        assert metrics["b"].std == 0.0
+
+
+class TestDeterminismViaReplication:
+    def test_deterministic_workload_has_zero_variance(self):
+        """Same seed -> identical simulation; this doubles as the
+        library's determinism regression check."""
+        from repro.workloads.counter import CounterConfig, run_counter
+
+        def run(_seed_unused: int) -> float:
+            return run_counter(
+                CounterConfig(system="gwc_optimistic", n_nodes=4,
+                              increments_per_node=4, seed=7)
+            ).elapsed
+
+        metric = replicate(run, seeds=range(3), name="elapsed")
+        # Identical runs up to floating-point mean round-off.
+        assert metric.std <= 1e-12 * metric.mean
+
+    def test_randomized_workload_varies_across_seeds(self):
+        from repro.workloads.synthetic import SyntheticConfig, run_synthetic
+
+        def run(seed: int) -> float:
+            return run_synthetic(
+                SyntheticConfig(n_nodes=4, sections_per_node=5, seed=seed)
+            ).elapsed
+
+        metric = replicate(run, seeds=range(4), name="elapsed")
+        assert metric.std > 0.0
+        assert metric.ci_low < metric.mean < metric.ci_high

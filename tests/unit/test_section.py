@@ -1,0 +1,146 @@
+"""Unit tests for Section declarations and rollback snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine import DSMMachine
+from repro.core.section import (
+    Section,
+    SectionContext,
+    restore_from_rollback,
+    snapshot_for_rollback,
+)
+from repro.errors import RollbackError
+from repro.sim.waiters import Signal
+
+
+def make_node():
+    machine = DSMMachine(n_nodes=1)
+    machine.create_group("g")
+    machine.declare_variable("g", "a", 1)
+    machine.declare_variable("g", "b", 2)
+    return machine, machine.nodes[0]
+
+
+def dummy_body(ctx):
+    yield from ctx.compute(0.0)
+
+
+class TestSectionDeclaration:
+    def test_save_set_deduplicates(self):
+        section = Section(
+            lock="L",
+            body=dummy_body,
+            shared_reads=("a", "b"),
+            shared_writes=("b", "a"),
+        )
+        assert sorted(section.save_set) == ["a", "b"]
+        assert len(section.save_set) == 2
+
+    def test_save_bytes(self):
+        section = Section(
+            lock="L",
+            body=dummy_body,
+            shared_reads=("a",),
+            shared_writes=("b",),
+            local_vars=("x",),
+        )
+        assert section.save_bytes() == 8 * 3
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_shared_and_locals(self):
+        machine, node = make_node()
+        node.locals["x"] = "scratch"
+        section = Section(
+            lock="L",
+            body=dummy_body,
+            shared_reads=("a",),
+            shared_writes=("b",),
+            local_vars=("x",),
+        )
+        saved = snapshot_for_rollback(node, section)
+        node.store.write("a", 100)
+        node.store.write("b", 200)
+        node.locals["x"] = "clobbered"
+        restore_from_rollback(node, section, saved)
+        assert node.store.read("a") == 1
+        assert node.store.read("b") == 2
+        assert node.locals["x"] == "scratch"
+
+    def test_restore_rejects_incomplete_snapshot(self):
+        machine, node = make_node()
+        section = Section(lock="L", body=dummy_body, shared_writes=("a",))
+        with pytest.raises(RollbackError):
+            restore_from_rollback(node, section, {})
+
+    def test_missing_local_in_snapshot_rejected(self):
+        machine, node = make_node()
+        section = Section(lock="L", body=dummy_body, local_vars=("x",))
+        with pytest.raises(RollbackError):
+            restore_from_rollback(node, section, {})
+
+
+class TestSectionContext:
+    def test_reads_and_writes_flow_through(self):
+        machine, node = make_node()
+        writes = []
+        ctx = SectionContext(node, write_through=lambda v, x: writes.append((v, x)))
+        assert ctx.read("a") == 1
+        ctx.write("b", 5)
+        assert writes == [("b", 5)]
+
+    def test_locals(self):
+        machine, node = make_node()
+        ctx = SectionContext(node, write_through=lambda v, x: None)
+        assert ctx.local("missing", "default") == "default"
+        ctx.set_local("k", 9)
+        assert ctx.local("k") == 9
+        assert node.locals["k"] == 9
+
+    def test_write_after_abort_rejected(self):
+        machine, node = make_node()
+        abort = Signal()
+        ctx = SectionContext(node, write_through=lambda v, x: None, abort=abort)
+        abort.fire(None)
+        assert ctx.aborted
+        with pytest.raises(RollbackError):
+            ctx.write("b", 1)
+        with pytest.raises(RollbackError):
+            ctx.set_local("k", 1)
+
+    def test_compute_after_abort_is_free(self):
+        machine, node = make_node()
+        abort = Signal()
+        ctx = SectionContext(node, write_through=lambda v, x: None, abort=abort)
+        abort.fire(None)
+        done = []
+
+        def proc():
+            spent = yield from ctx.compute(100.0)
+            done.append(spent)
+
+        machine.spawn(proc(), name="p")
+        machine.run()
+        assert done == [0.0]
+        assert machine.sim.now == 0.0
+
+    def test_rmw_observations_buffered(self):
+        machine, node = make_node()
+        ctx = SectionContext(node, write_through=lambda v, x: None)
+        ctx.observe_rmw("a", 1, 2)
+        ctx.observe_rmw("a", 2, 3)
+        assert ctx.rmw_observations == [("a", 1, 2), ("a", 2, 3)]
+
+    def test_elapsed_accumulates(self):
+        machine, node = make_node()
+        ctx = SectionContext(node, write_through=lambda v, x: None)
+
+        def proc():
+            yield from ctx.compute(1e-6)
+            yield from ctx.compute(2e-6)
+
+        machine.spawn(proc(), name="p")
+        machine.run()
+        assert ctx.elapsed == pytest.approx(3e-6)

@@ -1,0 +1,76 @@
+"""Unit tests for Figure-1-style timeline rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.timeline import render_timeline
+from repro.workloads.contention import ContentionConfig, run_contention
+
+
+class TestTimelineFromContention:
+    @pytest.fixture(scope="class")
+    def timeline(self):
+        result = run_contention(ContentionConfig(system="gwc", record_timeline=True))
+        return result.extra["timeline"]
+
+    def test_one_lane_per_cpu(self, timeline):
+        for cpu in ("cpu0", "cpu1", "cpu2"):
+            assert cpu in timeline
+
+    def test_lock_hold_overlays_present(self, timeline):
+        assert timeline.count("lock held") == 3
+
+    def test_busy_and_idle_marks(self, timeline):
+        assert "#" in timeline
+        assert "." in timeline
+
+    def test_legend(self, timeline):
+        assert "legend:" in timeline
+
+
+class TestTimelineSemantics:
+    def test_optimistic_rollback_shows_wasted_time(self):
+        result = run_contention(
+            ContentionConfig(system="gwc_optimistic", record_timeline=True)
+        )
+        if result.counter("opt.rollbacks"):
+            assert "x" in result.extra["timeline"]
+
+    def test_holds_are_disjoint_in_time(self):
+        """No column may show two CPUs holding the lock (visual mutual
+        exclusion)."""
+        result = run_contention(ContentionConfig(system="gwc", record_timeline=True))
+        lines = result.extra["timeline"].splitlines()
+        hold_rows = [
+            line.split("|")[1]
+            for line in lines
+            if line.strip().endswith("lock held")
+        ]
+        assert len(hold_rows) == 3
+        width = len(hold_rows[0])
+        for col in range(width):
+            holders = sum(1 for row in hold_rows if row[col] == "=")
+            assert holders <= 1, f"column {col} shows {holders} holders"
+
+    def test_requires_span_recording(self):
+        from repro.core.machine import DSMMachine
+
+        machine = DSMMachine(n_nodes=1)
+
+        def proc():
+            yield 1e-6
+
+        machine.spawn(proc(), name="p")
+        machine.run()
+        with pytest.raises(ExperimentError, match="span recording"):
+            render_timeline(machine)
+
+    def test_requires_completed_run(self):
+        from repro.core.machine import DSMMachine
+
+        machine = DSMMachine(n_nodes=1)
+        machine.enable_span_recording()
+        with pytest.raises(ExperimentError, match="run the machine"):
+            render_timeline(machine)

@@ -1,0 +1,133 @@
+"""Unit tests for network topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.topology import (
+    FullyConnected,
+    MeshTorus,
+    Ring,
+    Star,
+    make_topology,
+)
+
+
+class TestMeshTorus:
+    def test_perfect_square_grid(self):
+        torus = MeshTorus(16)
+        assert (torus.rows, torus.cols) == (4, 4)
+
+    def test_paper_sizes_stay_near_square(self):
+        for n in (3, 5, 9, 17, 33, 65, 129):
+            torus = MeshTorus(n)
+            assert torus.rows * torus.cols >= n
+            assert torus.cols - torus.rows <= max(2, torus.rows)
+
+    def test_hops_zero_to_self(self):
+        torus = MeshTorus(16)
+        for node in range(16):
+            assert torus.hops(node, node) == 0
+
+    def test_hops_symmetric(self):
+        torus = MeshTorus(12)
+        for a in range(12):
+            for b in range(12):
+                assert torus.hops(a, b) == torus.hops(b, a)
+
+    def test_wraparound_shortens_paths(self):
+        torus = MeshTorus(16)  # 4x4
+        # Nodes 0 and 3 are on the same row, 3 columns apart; the torus
+        # wraps so the distance is 1.
+        assert torus.hops(0, 3) == 1
+
+    def test_manhattan_distance_on_grid(self):
+        torus = MeshTorus(16)  # 4x4
+        assert torus.hops(0, 5) == 2  # one row + one column
+
+    def test_neighbors_are_at_distance_one(self):
+        torus = MeshTorus(16)
+        for node in range(16):
+            for other in torus.neighbors(node):
+                assert torus.hops(node, other) == 1
+
+    def test_neighbors_exclude_missing_processors(self):
+        torus = MeshTorus(5)  # 2x3 grid, position 5 is a switch only
+        for node in range(5):
+            assert all(other < 5 for other in torus.neighbors(node))
+
+    def test_triangle_inequality(self):
+        torus = MeshTorus(9)
+        for a in range(9):
+            for b in range(9):
+                for c in range(9):
+                    assert torus.hops(a, c) <= torus.hops(a, b) + torus.hops(b, c)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TopologyError):
+            MeshTorus(4).hops(0, 4)
+
+
+class TestRing:
+    def test_distance_wraps(self):
+        ring = Ring(10)
+        assert ring.hops(0, 9) == 1
+        assert ring.hops(0, 5) == 5
+        assert ring.hops(2, 8) == 4
+
+    def test_neighbors(self):
+        ring = Ring(5)
+        assert set(ring.neighbors(0)) == {4, 1}
+
+    def test_single_node(self):
+        ring = Ring(1)
+        assert ring.neighbors(0) == ()
+        assert ring.hops(0, 0) == 0
+
+    def test_two_nodes_single_neighbor(self):
+        ring = Ring(2)
+        assert ring.neighbors(0) == (1,)
+
+
+class TestStar:
+    def test_distances(self):
+        star = Star(5)
+        assert star.hops(0, 3) == 1
+        assert star.hops(3, 0) == 1
+        assert star.hops(2, 4) == 2
+        assert star.hops(2, 2) == 0
+
+    def test_hub_neighbors_everyone(self):
+        star = Star(4)
+        assert set(star.neighbors(0)) == {1, 2, 3}
+        assert star.neighbors(2) == (0,)
+
+
+class TestFullyConnected:
+    def test_all_distances_one(self):
+        full = FullyConnected(6)
+        for a in range(6):
+            for b in range(6):
+                assert full.hops(a, b) == (0 if a == b else 1)
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        assert isinstance(make_topology("mesh_torus", 4), MeshTorus)
+        assert isinstance(make_topology("ring", 4), Ring)
+        assert isinstance(make_topology("star", 4), Star)
+        assert isinstance(make_topology("fully_connected", 4), FullyConnected)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TopologyError, match="unknown topology"):
+            make_topology("hypercube", 4)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(TopologyError):
+            MeshTorus(0)
+
+    def test_diameter(self):
+        assert Ring(8).diameter() == 4
+        assert Star(5).diameter() == 2
+        assert FullyConnected(3).diameter() == 1
