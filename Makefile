@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full examples figures all clean
+.PHONY: install test bench bench-full bench-json perf-smoke examples figures all clean
 
 install:
 	$(PY) setup.py develop
@@ -15,6 +15,15 @@ bench:
 
 bench-full:
 	REPRO_FULL=1 $(PY) -m pytest benchmarks/ --benchmark-only -s
+
+# Machine-readable perf snapshot (events/sec, messages/sec, quick sweep
+# wall-clock, speedup vs the seed baseline) -> BENCH_kernel.json.
+bench-json:
+	PYTHONPATH=src $(PY) benchmarks/test_perf_kernel.py
+
+# Fail if the quick Figure 8 sweep regressed >25% vs BENCH_kernel.json.
+perf-smoke:
+	PYTHONPATH=src $(PY) benchmarks/test_perf_kernel.py --smoke
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PY) $$script; done

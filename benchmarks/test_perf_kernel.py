@@ -1,0 +1,215 @@
+"""Kernel + sweep performance snapshot -> ``BENCH_kernel.json``.
+
+Unlike the pytest-benchmark suites next door, this module produces a
+single machine-readable snapshot of the numbers the performance work
+targets:
+
+* raw event-loop throughput (events/second),
+* network delivery throughput (messages/second),
+* quick-scale Figure 2 + Figure 8 sweep wall-clock, serial and with
+  ``jobs=4`` workers,
+* the speedup over the pre-optimization seed baseline.
+
+Run ``make bench-json`` to (re)generate ``BENCH_kernel.json`` at the
+repo root, and ``make perf-smoke`` to fail the build if the quick
+Figure 8 sweep has regressed more than 25% against the recorded
+snapshot.  Timings are warm best-of-N ``perf_counter`` measurements, so
+the snapshot is stable enough to diff across commits on one host.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_kernel.json"
+
+#: Quick-scale Figure 2 + Figure 8 combined wall-clock of the seed tree
+#: (commit b98eba4, before the kernel fast path), measured with the same
+#: warm best-of-3 protocol on the reference 1-CPU CI host.  Absolute
+#: seconds are host-specific; the recorded speedups are the ratio of two
+#: measurements taken back-to-back on that host.
+SEED_COMBINED_SERIAL_S = 1.373
+
+#: How hard perf-smoke clamps down: fail when quick Figure 8 takes more
+#: than ``1 + PERF_SMOKE_TOLERANCE`` times the recorded snapshot.
+PERF_SMOKE_TOLERANCE = 0.25
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    """Warm best-of-``rounds`` wall-clock of ``fn()`` in seconds."""
+    fn()  # warm caches, imports, and allocator pools
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_events_per_sec(total_events: int = 200_000) -> float:
+    """Raw event-loop throughput: self-rescheduling no-arg callbacks."""
+    from repro.sim.kernel import Simulator
+
+    def drain() -> None:
+        sim = Simulator()
+        remaining = [total_events]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule_fn(1e-6, tick)
+
+        sim.schedule_fn(0.0, tick)
+        sim.run()
+
+    return total_events / _best_of(drain)
+
+
+def measure_messages_per_sec(
+    n_nodes: int = 8, total_messages: int = 100_000
+) -> float:
+    """Network delivery throughput on a mesh with real routing costs."""
+    from repro.net.message import Message
+    from repro.net.network import Network
+    from repro.net.topology import make_topology
+    from repro.params import PAPER_PARAMS
+    from repro.sim.kernel import Simulator
+
+    def drain() -> None:
+        sim = Simulator()
+        net = Network(sim, make_topology("mesh_torus", n_nodes), PAPER_PARAMS)
+        for node in range(n_nodes):
+            net.attach(node, lambda msg: None)
+        sent = [0]
+
+        def pump() -> None:
+            src = sent[0] % n_nodes
+            net.send(Message(src=src, dst=(src + 1) % n_nodes, kind="bench.msg"))
+            sent[0] += 1
+            if sent[0] < total_messages:
+                sim.schedule_fn(0.0, pump)
+
+        sim.schedule_fn(0.0, pump)
+        sim.run()
+
+    return total_messages / _best_of(drain)
+
+
+def _quick_figure2() -> None:
+    from repro.experiments.figure2 import run_figure2
+
+    run_figure2()
+
+
+def _quick_figure8() -> None:
+    from repro.experiments.figure8 import run_figure8
+
+    run_figure8()
+
+
+def _quick_combined(jobs: int | None = None) -> None:
+    from repro.experiments.figure2 import run_figure2
+    from repro.experiments.figure8 import run_figure8
+
+    run_figure2(jobs=jobs)
+    run_figure8(jobs=jobs)
+
+
+def collect_snapshot() -> dict:
+    """Measure everything and return the BENCH_kernel.json payload."""
+    events_per_sec = measure_events_per_sec()
+    messages_per_sec = measure_messages_per_sec()
+    figure2_s = _best_of(_quick_figure2)
+    figure8_s = _best_of(_quick_figure8)
+    combined_serial_s = _best_of(_quick_combined)
+    combined_jobs4_s = _best_of(lambda: _quick_combined(jobs=4))
+    combined_best_s = min(combined_serial_s, combined_jobs4_s)
+    return {
+        "schema": 1,
+        "generated_by": "benchmarks/test_perf_kernel.py",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "kernel": {
+            "events_per_sec": round(events_per_sec),
+            "messages_per_sec": round(messages_per_sec),
+        },
+        "sweeps": {
+            "figure2_quick_s": round(figure2_s, 4),
+            "figure8_quick_s": round(figure8_s, 4),
+            "combined_serial_s": round(combined_serial_s, 4),
+            "combined_jobs4_s": round(combined_jobs4_s, 4),
+        },
+        "baseline": {
+            "seed_combined_serial_s": SEED_COMBINED_SERIAL_S,
+            "note": (
+                "seed baseline measured from the pre-optimization tree "
+                "(commit b98eba4) with the same warm best-of-3 protocol "
+                "on the reference host; speedups divide it by this "
+                "host's measurements and are only comparable when both "
+                "ran on similar hardware"
+            ),
+            "speedup_serial": round(SEED_COMBINED_SERIAL_S / combined_serial_s, 2),
+            "speedup_combined": round(SEED_COMBINED_SERIAL_S / combined_best_s, 2),
+        },
+    }
+
+
+def write_snapshot() -> dict:
+    snapshot = collect_snapshot()
+    BENCH_JSON.write_text(json.dumps(snapshot, indent=2) + "\n")
+    return snapshot
+
+
+def perf_smoke() -> int:
+    """Fail (non-zero) if quick Figure 8 regressed >25% vs the snapshot.
+
+    Returns a process exit code so the Makefile target can gate CI.
+    """
+    if not BENCH_JSON.exists():
+        print(f"perf-smoke: no {BENCH_JSON.name}; run 'make bench-json' first")
+        return 2
+    recorded = json.loads(BENCH_JSON.read_text())["sweeps"]["figure8_quick_s"]
+    # Best-of-5 (vs the snapshot's best-of-3) so a transient load spike
+    # on a shared host doesn't fail the gate.
+    measured = _best_of(_quick_figure8, rounds=5)
+    limit = recorded * (1.0 + PERF_SMOKE_TOLERANCE)
+    verdict = "OK" if measured <= limit else "REGRESSION"
+    print(
+        f"perf-smoke: quick figure8 {measured:.3f}s vs recorded "
+        f"{recorded:.3f}s (limit {limit:.3f}s) -> {verdict}"
+    )
+    return 0 if measured <= limit else 1
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (plain tests; skipped by `pytest --benchmark-only`)
+# ----------------------------------------------------------------------
+
+
+def test_perf_snapshot_writes_bench_json():
+    """Regenerate BENCH_kernel.json and sanity-check its contents."""
+    snapshot = write_snapshot()
+    assert snapshot["kernel"]["events_per_sec"] > 10_000
+    assert snapshot["kernel"]["messages_per_sec"] > 10_000
+    assert snapshot["sweeps"]["combined_serial_s"] > 0
+    assert BENCH_JSON.exists()
+    print()
+    print(json.dumps(snapshot, indent=2))
+
+
+def main(argv: list[str]) -> int:
+    if "--smoke" in argv:
+        return perf_smoke()
+    snapshot = write_snapshot()
+    print(json.dumps(snapshot, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -38,6 +38,19 @@ def _parse_sizes(text: str) -> tuple[int, ...]:
     return tuple(int(part) for part in text.split(",") if part)
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for sweep points (default: $REPRO_JOBS, "
+            "else serial); results are identical at any job count"
+        ),
+    )
+
+
 def _cmd_figure1(args: argparse.Namespace) -> int:
     rows = figure1.run_figure1(
         update_time=args.update_us * 1e-6, cpu2_delay=args.delay_us * 1e-6
@@ -58,7 +71,7 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
     else:
         sizes = (3, 5, 9, 17)
     tasks = args.tasks or (1024 if args.full else 128)
-    rows = figure2.run_figure2(sizes=sizes, total_tasks=tasks)
+    rows = figure2.run_figure2(sizes=sizes, total_tasks=tasks, jobs=args.jobs)
     print(figure2.render(rows))
     if args.chart:
         print()
@@ -78,7 +91,7 @@ def _cmd_figure8(args: argparse.Namespace) -> int:
     else:
         sizes = (2, 4, 8, 16)
     data = args.data or (1024 if args.full else 128)
-    rows = figure8.run_figure8(sizes=sizes, data_size=data)
+    rows = figure8.run_figure8(sizes=sizes, data_size=data, jobs=args.jobs)
     print(figure8.render(rows))
     if args.chart:
         print()
@@ -111,11 +124,16 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
-    print(render_threshold(run_threshold_sweep(think_times=(15e-6, 50e-6))))
+    jobs = getattr(args, "jobs", None)
+    print(
+        render_threshold(
+            run_threshold_sweep(think_times=(15e-6, 50e-6), jobs=jobs)
+        )
+    )
     print()
-    print(render_shootout(run_lock_protocol_shootout()))
+    print(render_shootout(run_lock_protocol_shootout(jobs=jobs)))
     print()
-    print(render_shootout(run_lock_primitive_shootout()))
+    print(render_shootout(run_lock_primitive_shootout(jobs=jobs)))
     print()
     with_filter, without_filter = run_echo_blocking_ablation()
     print(
@@ -171,7 +189,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     print(banner)
     sizes2 = (3, 5, 9, 17, 33, 65, 129) if args.full else (3, 5, 9, 17)
     tasks = 1024 if args.full else 128
-    rows2 = figure2.run_figure2(sizes=sizes2, total_tasks=tasks)
+    rows2 = figure2.run_figure2(sizes=sizes2, total_tasks=tasks, jobs=args.jobs)
     print(figure2.render(rows2))
     print(figure2.chart(rows2))
     checks = figure2.expectations(rows2)
@@ -185,7 +203,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     print(banner)
     sizes8 = (2, 4, 8, 16, 32, 64, 128) if args.full else (2, 4, 8, 16)
     data = 1024 if args.full else 128
-    rows8 = figure8.run_figure8(sizes=sizes8, data_size=data)
+    rows8 = figure8.run_figure8(sizes=sizes8, data_size=data, jobs=args.jobs)
     print(figure8.render(rows8))
     print(figure8.chart(rows8))
     checks = figure8.expectations(rows8)
@@ -233,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     p2.add_argument("--sizes", type=str, default="")
     p2.add_argument("--tasks", type=int, default=0)
     p2.add_argument("--chart", action="store_true", help="draw an ASCII chart")
+    _add_jobs(p2)
     p2.set_defaults(fn=_cmd_figure2)
 
     p8 = sub.add_parser("figure8", help="mutex methods on the pipeline")
@@ -240,12 +259,14 @@ def build_parser() -> argparse.ArgumentParser:
     p8.add_argument("--sizes", type=str, default="")
     p8.add_argument("--data", type=int, default=0)
     p8.add_argument("--chart", action="store_true", help="draw an ASCII chart")
+    _add_jobs(p8)
     p8.set_defaults(fn=_cmd_figure8)
 
     p7 = sub.add_parser("figure7", help="rollback interaction scenario")
     p7.set_defaults(fn=_cmd_figure7)
 
     pa = sub.add_parser("ablations", help="threshold / filter / protocol ablations")
+    _add_jobs(pa)
     pa.set_defaults(fn=_cmd_ablations)
 
     pg = sub.add_parser(
@@ -261,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
         "reproduce", help="regenerate every paper artefact and print a digest"
     )
     pr.add_argument("--full", action="store_true", help="paper scale")
+    _add_jobs(pr)
     pr.set_defaults(fn=_cmd_reproduce)
 
     return parser

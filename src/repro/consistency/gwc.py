@@ -173,7 +173,7 @@ class GroupRootEngine:
             manager = self.lock_managers[decl.mutex_lock]
             if not manager.holds(request.origin):
                 self.discarded += 1
-                if self.sim.tracer.enabled:
+                if self.sim.trace_enabled:
                     self.sim.tracer.record(
                         self.sim.now,
                         "root.discarded",
@@ -212,7 +212,7 @@ class GroupRootEngine:
             is_lock=is_lock,
         )
         self.sequenced += 1
-        if self.sim.tracer.enabled:
+        if self.sim.trace_enabled:
             self.sim.tracer.record(
                 self.sim.now,
                 "root.sequenced",

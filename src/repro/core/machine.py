@@ -19,6 +19,7 @@ Typical construction::
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Generator, Iterable
 
 from repro.consistency.checker import MutualExclusionChecker
@@ -75,6 +76,9 @@ class DSMMachine:
         self.checker = checker
         self.groups: dict[str, SharingGroup] = {}
         self._kind_handlers: dict[str, KindHandler] = {}
+        self._per_node_handlers: dict[
+            str, Callable[[int, str], Callable[[Message], None]]
+        ] = {}
         self._iface_free_at: dict[int, float] = {}
         self.nodes: list[NodeHandle] = []
         for node_id in range(n_nodes):
@@ -96,9 +100,24 @@ class DSMMachine:
                 params=params,
             )
             self.nodes.append(handle)
-            self.network.attach(node_id, self._make_dispatcher(node_id))
+            dispatcher = self._make_dispatcher(node_id)
+            if params.interface_service_time <= 0.0:
+                # Immediate dispatch is stateless per message, so the
+                # network may resolve (dst, kind) -> final callable once
+                # and skip the dispatcher frame on every delivery.
+                self.network.attach(
+                    node_id,
+                    dispatcher,
+                    resolver=partial(self._resolve_kind, node_id),
+                )
+            else:
+                self.network.attach(node_id, dispatcher)
         self.register_kind_handler(
-            "gwc", lambda node_id, msg: self.nodes[node_id].iface.on_message(msg)
+            "gwc",
+            lambda node_id, msg: self.nodes[node_id].iface.on_message(msg),
+            per_node=lambda node_id, kind: self.nodes[node_id].iface.delivery_for(
+                kind
+            ),
         )
 
     @property
@@ -110,14 +129,18 @@ class DSMMachine:
     # ------------------------------------------------------------------
 
     def _make_dispatcher(self, node_id: int) -> Callable[[Message], None]:
+        # Per-node cache of kind -> single-argument delivery callable.
+        # Prefixes registered with a ``per_node`` resolver collapse to
+        # the node's bound method (no intermediate dispatch frame);
+        # others fall back to ``handler(node_id, msg)``.
+        kind_cache: dict[str, Callable[[Message], None]] = {}
+
         def handle(msg: Message) -> None:
-            prefix = msg.kind.split(".", 1)[0]
-            handler = self._kind_handlers.get(prefix)
-            if handler is None:
-                raise NetworkError(
-                    f"node {node_id}: no handler for message kind {msg.kind!r}"
-                )
-            handler(node_id, msg)
+            fn = kind_cache.get(msg.kind)
+            if fn is None:
+                fn = self._resolve_kind(node_id, msg.kind)
+                kind_cache[msg.kind] = fn
+            fn(msg)
 
         service = self.params.interface_service_time
         if service <= 0.0:
@@ -129,15 +152,51 @@ class DSMMachine:
             start = max(self.sim.now, self._iface_free_at.get(node_id, 0.0))
             done = start + service
             self._iface_free_at[node_id] = done
-            self.sim.at(done, lambda: handle(msg))
+            self.sim.at_fn(done, partial(handle, msg))
 
         return dispatch_serialized
 
-    def register_kind_handler(self, prefix: str, handler: KindHandler) -> None:
-        """Route messages whose kind starts with ``prefix + '.'``."""
+    def _resolve_kind(self, node_id: int, kind: str) -> Callable[[Message], None]:
+        """Build the delivery callable for one (node, kind) pair.
+
+        Unknown kinds resolve to a callable that raises on *delivery*,
+        matching the historical behaviour of failing when the message
+        event fires rather than when it is sent.
+        """
+        prefix = kind.split(".", 1)[0]
+        resolver = self._per_node_handlers.get(prefix)
+        if resolver is not None:
+            return resolver(node_id, kind)
+        handler = self._kind_handlers.get(prefix)
+        if handler is None:
+            def unknown_kind(msg: Message) -> None:
+                raise NetworkError(
+                    f"node {node_id}: no handler for message kind {msg.kind!r}"
+                )
+
+            return unknown_kind
+        return partial(handler, node_id)
+
+    def register_kind_handler(
+        self,
+        prefix: str,
+        handler: KindHandler,
+        per_node: Callable[[int, str], Callable[[Message], None]] | None = None,
+    ) -> None:
+        """Route messages whose kind starts with ``prefix + '.'``.
+
+        Args:
+            prefix: Kind prefix (the part before the first ``.``).
+            handler: Generic ``handler(node_id, msg)`` callback.
+            per_node: Optional ``(node_id, kind) ->`` direct delivery
+                callable resolver; when given, dispatch skips the
+                generic handler's extra call frame.
+        """
         if prefix in self._kind_handlers:
             raise NetworkError(f"kind prefix {prefix!r} already registered")
         self._kind_handlers[prefix] = handler
+        if per_node is not None:
+            self._per_node_handlers[prefix] = per_node
 
     # ------------------------------------------------------------------
     # Groups, variables, locks

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.runner import SweepExecutor
 from repro.metrics.report import format_table
 from repro.params import PAPER_PARAMS, MachineParams
 from repro.workloads.counter import CounterConfig, run_counter
@@ -36,12 +37,41 @@ class ThresholdRow:
     wasted: float
 
 
+def _threshold_point(
+    point: tuple[float, float, int, int, MachineParams],
+) -> ThresholdRow:
+    """One (think_time, threshold) cell (module-level: picklable)."""
+    think, threshold, n_nodes, increments_per_node, params = point
+    result = run_counter(
+        CounterConfig(
+            system="gwc_optimistic",
+            n_nodes=n_nodes,
+            increments_per_node=increments_per_node,
+            think_time=think,
+            params=params,
+            threshold=threshold,
+        )
+    )
+    assert result.extra["correct"], "counter lost updates"
+    return ThresholdRow(
+        threshold=threshold,
+        think_time=think,
+        elapsed=result.elapsed,
+        attempts=result.counter("opt.attempts"),
+        successes=result.counter("opt.successes"),
+        rollbacks=result.counter("opt.rollbacks"),
+        regular=result.counter("opt.regular_path"),
+        wasted=result.metrics.total_wasted(),
+    )
+
+
 def run_threshold_sweep(
     thresholds: tuple[float, ...] = (0.0, 0.1, 0.3, 0.5, 0.9, 1.0),
     think_times: tuple[float, ...] = (2e-6, 50e-6),
     n_nodes: int = 6,
     increments_per_node: int = 16,
     params: MachineParams = PAPER_PARAMS,
+    jobs: int | None = None,
 ) -> list[ThresholdRow]:
     """A1: sweep the optimism threshold under two contention levels.
 
@@ -50,33 +80,12 @@ def run_threshold_sweep(
     should win).  Threshold 0.0 forces every request down the regular
     path once any usage has ever been seen; 1.0 never suppresses.
     """
-    rows = []
-    for think in think_times:
-        for threshold in thresholds:
-            result = run_counter(
-                CounterConfig(
-                    system="gwc_optimistic",
-                    n_nodes=n_nodes,
-                    increments_per_node=increments_per_node,
-                    think_time=think,
-                    params=params,
-                    threshold=threshold,
-                )
-            )
-            assert result.extra["correct"], "counter lost updates"
-            rows.append(
-                ThresholdRow(
-                    threshold=threshold,
-                    think_time=think,
-                    elapsed=result.elapsed,
-                    attempts=result.counter("opt.attempts"),
-                    successes=result.counter("opt.successes"),
-                    rollbacks=result.counter("opt.rollbacks"),
-                    regular=result.counter("opt.regular_path"),
-                    wasted=result.metrics.total_wasted(),
-                )
-            )
-    return rows
+    points = [
+        (think, threshold, n_nodes, increments_per_node, params)
+        for think in think_times
+        for threshold in thresholds
+    ]
+    return SweepExecutor(jobs).map(_threshold_point, points)
 
 
 def render_threshold(rows: list[ThresholdRow]) -> str:
@@ -118,34 +127,62 @@ class ShootoutRow:
     remote_attempts: int
 
 
+def _protocol_point(point: tuple[str, int, int, float, MachineParams]) -> ShootoutRow:
+    """One consistency system's counter run (module-level: picklable)."""
+    system, n_nodes, increments_per_node, think_time, params = point
+    result = run_counter(
+        CounterConfig(
+            system=system,
+            n_nodes=n_nodes,
+            increments_per_node=increments_per_node,
+            think_time=think_time,
+            params=params,
+        )
+    )
+    return ShootoutRow(
+        system=system,
+        elapsed=result.elapsed,
+        correct=result.extra["correct"],
+        remote_attempts=0,
+    )
+
+
 def run_lock_protocol_shootout(
     systems: tuple[str, ...] = ("gwc", "gwc_optimistic", "entry", "release"),
     n_nodes: int = 8,
     increments_per_node: int = 8,
     think_time: float = 20e-6,
     params: MachineParams = PAPER_PARAMS,
+    jobs: int | None = None,
 ) -> list[ShootoutRow]:
     """A3a: every consistency system runs the same counter kernel."""
-    rows = []
-    for system in systems:
-        result = run_counter(
-            CounterConfig(
-                system=system,
-                n_nodes=n_nodes,
-                increments_per_node=increments_per_node,
-                think_time=think_time,
-                params=params,
-            )
+    points = [
+        (system, n_nodes, increments_per_node, think_time, params)
+        for system in systems
+    ]
+    return SweepExecutor(jobs).map(_protocol_point, points)
+
+
+def _primitive_point(point: tuple[str, int, int, float, MachineParams]) -> ShootoutRow:
+    """One lock primitive's bench run (module-level: picklable)."""
+    from repro.workloads.lock_bench import LockBenchConfig, run_lock_bench
+
+    protocol, n_nodes, increments_per_node, think_time, params = point
+    result = run_lock_bench(
+        LockBenchConfig(
+            protocol=protocol,
+            n_nodes=n_nodes,
+            increments_per_node=increments_per_node,
+            think_time=think_time,
+            params=params,
         )
-        rows.append(
-            ShootoutRow(
-                system=system,
-                elapsed=result.elapsed,
-                correct=result.extra["correct"],
-                remote_attempts=0,
-            )
-        )
-    return rows
+    )
+    return ShootoutRow(
+        system=protocol,
+        elapsed=result.elapsed,
+        correct=result.extra["correct"],
+        remote_attempts=result.extra.get("remote_attempts", 0),
+    )
 
 
 def run_lock_primitive_shootout(
@@ -153,30 +190,16 @@ def run_lock_primitive_shootout(
     increments_per_node: int = 8,
     think_time: float = 10e-6,
     params: MachineParams = PAPER_PARAMS,
+    jobs: int | None = None,
 ) -> list[ShootoutRow]:
     """A3b: the paper's locks vs. the cited TAS/TTAS/MCS baselines."""
-    from repro.workloads.lock_bench import PROTOCOLS, LockBenchConfig, run_lock_bench
+    from repro.workloads.lock_bench import PROTOCOLS
 
-    rows = []
-    for protocol in PROTOCOLS:
-        result = run_lock_bench(
-            LockBenchConfig(
-                protocol=protocol,
-                n_nodes=n_nodes,
-                increments_per_node=increments_per_node,
-                think_time=think_time,
-                params=params,
-            )
-        )
-        rows.append(
-            ShootoutRow(
-                system=protocol,
-                elapsed=result.elapsed,
-                correct=result.extra["correct"],
-                remote_attempts=result.extra.get("remote_attempts", 0),
-            )
-        )
-    return rows
+    points = [
+        (protocol, n_nodes, increments_per_node, think_time, params)
+        for protocol in PROTOCOLS
+    ]
+    return SweepExecutor(jobs).map(_primitive_point, points)
 
 
 def render_shootout(rows: list[ShootoutRow]) -> str:

@@ -18,6 +18,7 @@ from repro.experiments.common import (
     network_sizes_fig2,
     total_tasks_fig2,
 )
+from repro.experiments.runner import SweepExecutor
 from repro.metrics.report import format_table
 from repro.params import PAPER_PARAMS, MachineParams
 from repro.workloads.task_queue import TaskQueueConfig, run_task_queue
@@ -33,48 +34,60 @@ class Figure2Row:
     entry: float
 
 
+def _figure2_point(
+    point: tuple[int, int, float, float, MachineParams],
+) -> Figure2Row:
+    """One network size's three series (module-level: picklable)."""
+    n_nodes, total_tasks, task_time, produce_ratio, params = point
+    base = dict(
+        n_nodes=n_nodes,
+        total_tasks=total_tasks,
+        task_time=task_time,
+        produce_ratio=produce_ratio,
+    )
+    ideal = run_task_queue(
+        TaskQueueConfig(system="gwc", params=params.zero_delay(), **base)
+    )
+    gwc = run_task_queue(TaskQueueConfig(system="gwc", params=params, **base))
+    entry = run_task_queue(TaskQueueConfig(system="entry", params=params, **base))
+    for result in (ideal, gwc, entry):
+        if not result.extra["all_executed"]:
+            raise AssertionError(
+                f"{result.system} at n={n_nodes}: not all tasks executed"
+            )
+    return Figure2Row(
+        n_nodes=n_nodes,
+        max_speedup=ideal.speedup,
+        gwc=gwc.speedup,
+        entry=entry.speedup,
+    )
+
+
 def run_figure2(
     sizes: tuple[int, ...] | None = None,
     total_tasks: int | None = None,
     task_time: float = 200e-6,
     produce_ratio: float = 1.0 / 128.0,
     params: MachineParams = PAPER_PARAMS,
+    jobs: int | None = None,
 ) -> list[Figure2Row]:
     """Sweep network sizes for the GWC and entry consistency series.
 
     The "maximum speedup possible if network delays were zero" line is
     produced by running the same GWC workload with a zero-delay
     parameter set, exactly as the paper defines it.
+
+    Each network size is an independent simulation point; ``jobs``
+    (default: the ``REPRO_JOBS`` env var) fans them across worker
+    processes without changing any result.
     """
     sizes = sizes if sizes is not None else network_sizes_fig2()
     total_tasks = total_tasks if total_tasks is not None else total_tasks_fig2()
-    rows = []
-    for n_nodes in sizes:
-        base = dict(
-            n_nodes=n_nodes,
-            total_tasks=total_tasks,
-            task_time=task_time,
-            produce_ratio=produce_ratio,
-        )
-        ideal = run_task_queue(
-            TaskQueueConfig(system="gwc", params=params.zero_delay(), **base)
-        )
-        gwc = run_task_queue(TaskQueueConfig(system="gwc", params=params, **base))
-        entry = run_task_queue(TaskQueueConfig(system="entry", params=params, **base))
-        for result in (ideal, gwc, entry):
-            if not result.extra["all_executed"]:
-                raise AssertionError(
-                    f"{result.system} at n={n_nodes}: not all tasks executed"
-                )
-        rows.append(
-            Figure2Row(
-                n_nodes=n_nodes,
-                max_speedup=ideal.speedup,
-                gwc=gwc.speedup,
-                entry=entry.speedup,
-            )
-        )
-    return rows
+    points = [
+        (n_nodes, total_tasks, task_time, produce_ratio, params)
+        for n_nodes in sizes
+    ]
+    return SweepExecutor(jobs).map(_figure2_point, points)
 
 
 def expectations(rows: list[Figure2Row]) -> list[PaperExpectation]:

@@ -21,6 +21,7 @@ from repro.experiments.common import (
     data_size_fig8,
     network_sizes_fig8,
 )
+from repro.experiments.runner import SweepExecutor
 from repro.metrics.report import format_table
 from repro.params import PAPER_PARAMS, MachineParams
 from repro.workloads.pipeline import PipelineConfig, run_pipeline
@@ -38,6 +39,44 @@ class Figure8Row:
     rollbacks: int
 
 
+def _figure8_point(
+    point: tuple[int, int, float, float, int, int, MachineParams],
+) -> Figure8Row:
+    """One network size's four series (module-level: picklable)."""
+    n_nodes, data_size, local_time, mutex_ratio, item_bytes, block_bytes, params = (
+        point
+    )
+    base = dict(
+        n_nodes=n_nodes,
+        data_size=data_size,
+        local_time=local_time,
+        mutex_ratio=mutex_ratio,
+        item_bytes=item_bytes,
+        block_bytes=block_bytes,
+    )
+    ideal = run_pipeline(
+        PipelineConfig(system="gwc", params=params.zero_delay(), **base)
+    )
+    optimistic = run_pipeline(
+        PipelineConfig(system="gwc_optimistic", params=params, **base)
+    )
+    gwc = run_pipeline(PipelineConfig(system="gwc", params=params, **base))
+    entry = run_pipeline(PipelineConfig(system="entry", params=params, **base))
+    for result in (ideal, optimistic, gwc, entry):
+        if not result.extra["acc_correct"]:
+            raise AssertionError(
+                f"{result.system} at n={n_nodes}: wrong accumulator value"
+            )
+    return Figure8Row(
+        n_nodes=n_nodes,
+        max_power=ideal.speedup,
+        optimistic=optimistic.speedup,
+        gwc=gwc.speedup,
+        entry=entry.speedup,
+        rollbacks=optimistic.extra["rollbacks"],
+    )
+
+
 def run_figure8(
     sizes: tuple[int, ...] | None = None,
     data_size: int | None = None,
@@ -46,44 +85,21 @@ def run_figure8(
     item_bytes: int = 64,
     block_bytes: int = 64,
     params: MachineParams = PAPER_PARAMS,
+    jobs: int | None = None,
 ) -> list[Figure8Row]:
-    """Sweep network sizes for the four Figure 8 series."""
+    """Sweep network sizes for the four Figure 8 series.
+
+    Each network size is an independent simulation point; ``jobs``
+    (default: the ``REPRO_JOBS`` env var) fans them across worker
+    processes without changing any result.
+    """
     sizes = sizes if sizes is not None else network_sizes_fig8()
     data_size = data_size if data_size is not None else data_size_fig8()
-    rows = []
-    for n_nodes in sizes:
-        base = dict(
-            n_nodes=n_nodes,
-            data_size=data_size,
-            local_time=local_time,
-            mutex_ratio=mutex_ratio,
-            item_bytes=item_bytes,
-            block_bytes=block_bytes,
-        )
-        ideal = run_pipeline(
-            PipelineConfig(system="gwc", params=params.zero_delay(), **base)
-        )
-        optimistic = run_pipeline(
-            PipelineConfig(system="gwc_optimistic", params=params, **base)
-        )
-        gwc = run_pipeline(PipelineConfig(system="gwc", params=params, **base))
-        entry = run_pipeline(PipelineConfig(system="entry", params=params, **base))
-        for result in (ideal, optimistic, gwc, entry):
-            if not result.extra["acc_correct"]:
-                raise AssertionError(
-                    f"{result.system} at n={n_nodes}: wrong accumulator value"
-                )
-        rows.append(
-            Figure8Row(
-                n_nodes=n_nodes,
-                max_power=ideal.speedup,
-                optimistic=optimistic.speedup,
-                gwc=gwc.speedup,
-                entry=entry.speedup,
-                rollbacks=optimistic.extra["rollbacks"],
-            )
-        )
-    return rows
+    points = [
+        (n_nodes, data_size, local_time, mutex_ratio, item_bytes, block_bytes, params)
+        for n_nodes in sizes
+    ]
+    return SweepExecutor(jobs).map(_figure8_point, points)
 
 
 def expectations(rows: list[Figure8Row]) -> list[PaperExpectation]:

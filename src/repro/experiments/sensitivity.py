@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.experiments.runner import SweepExecutor
 from repro.metrics.report import format_table
 from repro.params import PAPER_PARAMS, MachineParams
 from repro.workloads.pipeline import PipelineConfig, run_pipeline
@@ -40,13 +41,15 @@ def run_hop_latency_sweep(
     n_nodes: int = 16,
     data_size: int = 128,
     base: MachineParams = PAPER_PARAMS,
+    jobs: int | None = None,
 ) -> list[SensitivityRow]:
     """Scale the per-hop switching latency (the paper's 200 ns)."""
-    rows = []
-    for hop in hops:
-        params = replace(base, hop_latency=hop)
-        rows.append(_measure("hop_latency_ns", hop * 1e9, n_nodes, data_size, params))
-    return rows
+    points = [
+        ("hop_latency_ns", hop * 1e9, n_nodes, data_size,
+         replace(base, hop_latency=hop))
+        for hop in hops
+    ]
+    return SweepExecutor(jobs).map(_measure_point, points)
 
 
 def run_bandwidth_sweep(
@@ -54,13 +57,22 @@ def run_bandwidth_sweep(
     n_nodes: int = 16,
     data_size: int = 128,
     base: MachineParams = PAPER_PARAMS,
+    jobs: int | None = None,
 ) -> list[SensitivityRow]:
     """Scale the link bandwidth (the paper's 1 Gb/s) downward."""
-    rows = []
-    for gbit in gbits:
-        params = replace(base, link_bandwidth_bits=gbit * 1e9)
-        rows.append(_measure("link_gbit", gbit, n_nodes, data_size, params))
-    return rows
+    points = [
+        ("link_gbit", gbit, n_nodes, data_size,
+         replace(base, link_bandwidth_bits=gbit * 1e9))
+        for gbit in gbits
+    ]
+    return SweepExecutor(jobs).map(_measure_point, points)
+
+
+def _measure_point(
+    point: tuple[str, float, int, int, MachineParams],
+) -> SensitivityRow:
+    """One network-cost setting (module-level: picklable)."""
+    return _measure(*point)
 
 
 def _measure(

@@ -5,6 +5,10 @@ it belongs to — that is the essence of eagersharing: reads are always
 local.  The store also fires a per-variable :class:`~repro.sim.waiters.Signal`
 on each committed write so simulated processes can sleep until a value
 they care about changes (instead of polling).
+
+Layout note: each variable lives in one ``[value, write_count, signal]``
+slot so the hot :meth:`write` path pays a single dict lookup instead of
+three (value map, write-count map, signal map).
 """
 
 from __future__ import annotations
@@ -14,28 +18,39 @@ from typing import Any, Callable, Generator
 from repro.errors import UnknownVariableError
 from repro.sim.waiters import Signal
 
+#: Slot indices (one list per variable).
+_VALUE = 0
+_COUNT = 1
+_SIGNAL = 2
+
 
 class LocalStore:
     """One node's local memory image of the shared variable space."""
 
     def __init__(self, node: int) -> None:
         self.node = node
-        self._values: dict[str, Any] = {}
-        self._signals: dict[str, Signal] = {}
-        #: Monotone count of committed writes per variable (diagnostics).
-        self.write_counts: dict[str, int] = {}
+        #: name -> ``[value, write_count, signal-or-None]``.
+        self._slots: dict[str, list[Any]] = {}
+
+    @property
+    def write_counts(self) -> dict[str, int]:
+        """Monotone count of committed writes per variable (diagnostics)."""
+        return {name: slot[_COUNT] for name, slot in self._slots.items()}
 
     def declare(self, name: str, initial: Any) -> None:
         """Install a variable with its initial value (idempotent re-init)."""
-        self._values[name] = initial
-        self.write_counts.setdefault(name, 0)
+        slot = self._slots.get(name)
+        if slot is None:
+            self._slots[name] = [initial, 0, None]
+        else:
+            slot[_VALUE] = initial
 
     def knows(self, name: str) -> bool:
-        return name in self._values
+        return name in self._slots
 
     def read(self, name: str) -> Any:
         try:
-            return self._values[name]
+            return self._slots[name][_VALUE]
         except KeyError:
             raise UnknownVariableError(
                 f"node {self.node}: variable {name!r} not declared"
@@ -43,26 +58,28 @@ class LocalStore:
 
     def write(self, name: str, value: Any) -> None:
         """Commit a value and wake any waiters on this variable."""
-        if name not in self._values:
+        slot = self._slots.get(name)
+        if slot is None:
             raise UnknownVariableError(
                 f"node {self.node}: variable {name!r} not declared"
             )
-        self._values[name] = value
-        self.write_counts[name] = self.write_counts.get(name, 0) + 1
-        signal = self._signals.get(name)
+        slot[0] = value
+        slot[1] += 1
+        signal = slot[2]
         if signal is not None:
             signal.fire(value)
 
     def signal_for(self, name: str) -> Signal:
         """The change signal for a variable (created on first use)."""
-        if name not in self._values:
+        slot = self._slots.get(name)
+        if slot is None:
             raise UnknownVariableError(
                 f"node {self.node}: variable {name!r} not declared"
             )
-        signal = self._signals.get(name)
+        signal = slot[_SIGNAL]
         if signal is None:
             signal = Signal(name=f"n{self.node}.{name}")
-            self._signals[name] = signal
+            slot[_SIGNAL] = signal
         return signal
 
     def wait_until(

@@ -22,6 +22,11 @@ class MulticastTree:
         self.network = network
         self.root = root
         self.tree: SpanningTree = build_bfs_tree(network.topology, root, members)
+        #: Members minus the root, precomputed for include_root=False
+        #: multicasts so the hot loop has no per-member comparison.
+        self._nonroot_members = tuple(
+            member for member in self.tree.members if member != root
+        )
         self._next_seq = 0
 
     @property
@@ -54,15 +59,5 @@ class MulticastTree:
                 as well (it does for data echoes; it already acted on lock
                 state locally).
         """
-        for member in self.members:
-            if member == self.root and not include_root:
-                continue
-            self.network.send(
-                Message(
-                    src=self.root,
-                    dst=member,
-                    kind=kind,
-                    payload=payload,
-                    size_bytes=size_bytes,
-                )
-            )
+        targets = self.tree.members if include_root else self._nonroot_members
+        self.network.send_fanout(self.root, targets, kind, payload, size_bytes)

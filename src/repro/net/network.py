@@ -9,12 +9,20 @@ Channels are FIFO: the network never delivers message *m2* sent after
 *m1* on the same ``(src, dst)`` channel before *m1* arrives, even if *m2*
 is smaller.  Group write consistency's sequencing guarantee is built on
 this property, exactly as Sesame builds it on ordered hardware links.
+
+The send path is performance-critical (every protocol message crosses
+it), so the per-pair hop latency is memoized, delivery is scheduled by
+pushing a ``(arrival, priority, seq, handler, msg)`` entry directly
+onto the simulator's event heap (no closure or handle allocation per
+send), and the tracer check is a cached boolean rather than a property
+call.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Callable
 
 from repro.errors import NetworkError
@@ -33,18 +41,25 @@ class ChannelStats:
 
     messages: int = 0
     bytes: int = 0
+    #: Messages removed by the loss model before delivery.  Dropped
+    #: messages still count as sent traffic (``messages`` / ``bytes`` /
+    #: ``outbound``) but never as received load.
+    dropped: int = 0
     by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     #: Messages received per node — the load metric that exposes
     #: hot-spots such as an overloaded global root.
     inbound: dict[int, int] = field(default_factory=lambda: defaultdict(int))
     outbound: dict[int, int] = field(default_factory=lambda: defaultdict(int))
 
-    def note(self, msg: Message) -> None:
+    def note(self, msg: Message, delivered: bool = True) -> None:
         self.messages += 1
         self.bytes += msg.size_bytes
         self.by_kind[msg.kind] += 1
         self.outbound[msg.src] += 1
-        self.inbound[msg.dst] += 1
+        if delivered:
+            self.inbound[msg.dst] += 1
+        else:
+            self.dropped += 1
 
     def hottest_receiver(self) -> tuple[int, int]:
         """(node, message count) of the most-loaded receiver."""
@@ -70,21 +85,71 @@ class Network:
         self.loss_model = loss_model
         self.stats = ChannelStats()
         self._handlers: dict[int, Handler] = {}
+        #: Optional per-node kind resolvers (see :meth:`attach`) and the
+        #: lazily filled ``(dst, kind) -> delivery callable`` cache they
+        #: feed.  Resolution collapses the per-message dispatch chain to
+        #: one dict lookup in :meth:`send`.
+        self._resolvers: dict[int, Callable[[str], Handler]] = {}
+        self._direct: dict[tuple[int, str], Handler] = {}
         #: Last scheduled arrival per (src, dst) channel, for FIFO clamping.
         self._last_arrival: dict[tuple[int, int], float] = {}
+        #: Memoized ``hops * hop_latency`` per (src, dst) pair, so the
+        #: delay model is a dict lookup plus one serialization division.
+        self._base_latency: dict[tuple[int, int], float] = {}
+        self._link_bandwidth = params.link_bandwidth
+        self._hop_latency = params.hop_latency
+        #: Deliveries are fire-and-forget (nothing cancels an in-flight
+        #: message) and the arrival time is provably >= now, so sends
+        #: push ``(arrival, prio, seq, handler, msg)`` entries straight
+        #: onto the event heap: no Event handle, no past-check, and no
+        #: per-send ``partial`` allocation.
+        self._queue = sim._queue
 
-    def attach(self, node: int, handler: Handler) -> None:
-        """Register the delivery handler for ``node`` (one per node)."""
+    def attach(
+        self,
+        node: int,
+        handler: Handler,
+        resolver: Callable[[str], Handler] | None = None,
+    ) -> None:
+        """Register the delivery handler for ``node`` (one per node).
+
+        Args:
+            node: Destination node id.
+            handler: Generic per-message delivery callable.
+            resolver: Optional ``resolver(kind) -> callable`` giving the
+                final per-kind delivery target, letting the network skip
+                the handler's internal dispatch on every message.  Only
+                valid when dispatch is stateless per message (e.g. no
+                serialized interface-service queueing).
+        """
         if node in self._handlers:
             raise NetworkError(f"node {node} already has a handler attached")
         if not 0 <= node < self.topology.n_nodes:
             raise NetworkError(f"node {node} not in topology {self.topology!r}")
         self._handlers[node] = handler
+        if resolver is not None:
+            self._resolvers[node] = resolver
+
+    def _resolve_direct(self, dst: int, kind: str) -> Handler:
+        """Fill the ``(dst, kind)`` delivery cache (slow path, once)."""
+        resolver = self._resolvers.get(dst)
+        if resolver is not None:
+            fn = resolver(kind)
+        else:
+            fn = self._handlers.get(dst)
+            if fn is None:
+                raise NetworkError(f"no handler attached for destination {dst}")
+        self._direct[(dst, kind)] = fn
+        return fn
 
     def delay(self, src: int, dst: int, size_bytes: int) -> float:
         """Raw transfer delay for a message, before FIFO clamping."""
-        hops = self.topology.hops(src, dst)
-        return self.params.wire_time(size_bytes, hops)
+        key = (src, dst)
+        base = self._base_latency.get(key)
+        if base is None:
+            base = self.topology.hops(src, dst) * self._hop_latency
+            self._base_latency[key] = base
+        return base + size_bytes / self._link_bandwidth
 
     def send(self, msg: Message) -> float:
         """Inject ``msg``; returns its scheduled arrival time.
@@ -93,31 +158,108 @@ class Network:
         still go through the event queue so handler re-entrancy is
         impossible.
         """
-        if msg.dst not in self._handlers:
-            raise NetworkError(f"no handler attached for destination {msg.dst}")
-        msg.sent_at = self.sim.now
-        self.stats.note(msg)
+        dst = msg.dst
+        kind = msg.kind
+        handler = self._direct.get((dst, kind))
+        if handler is None:
+            handler = self._resolve_direct(dst, kind)
+        sim = self.sim
+        now = sim._now
+        msg.sent_at = now
 
-        arrival = self.sim.now + self.delay(msg.src, msg.dst, msg.size_bytes)
+        src = msg.src
+        size_bytes = msg.size_bytes
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes += size_bytes
+        stats.by_kind[kind] += 1
+        stats.outbound[src] += 1
+
+        # Inlined self.delay(): one dict probe plus the serialization
+        # division, with the per-pair hop latency memoized on first use.
+        key = (src, dst)
+        base = self._base_latency.get(key)
+        if base is None:
+            base = self.topology.hops(src, dst) * self._hop_latency
+            self._base_latency[key] = base
+        arrival = now + (base + size_bytes / self._link_bandwidth)
         if self.loss_model is not None and self.loss_model.should_drop(msg):
-            if self.sim.tracer.enabled:
-                self.sim.tracer.record(
-                    self.sim.now, "net.dropped", msg=str(msg), arrival=arrival
-                )
+            stats.dropped += 1
+            if sim.trace_enabled:
+                sim.tracer.record(now, "net.dropped", msg=str(msg), arrival=arrival)
             return arrival
-        channel = (msg.src, msg.dst)
-        previous = self._last_arrival.get(channel)
+        stats.inbound[dst] += 1
+        last_arrival = self._last_arrival
+        previous = last_arrival.get(key)
         if previous is not None and arrival < previous:
             arrival = previous
-        self._last_arrival[channel] = arrival
+        last_arrival[key] = arrival
 
-        handler = self._handlers[msg.dst]
-        self.sim.at(arrival, lambda: handler(msg))
-        if self.sim.tracer.enabled:
-            self.sim.tracer.record(
-                self.sim.now,
-                "net.send",
-                msg=str(msg),
-                arrival=arrival,
-            )
+        # Inlined EventQueue.push_call.
+        queue = self._queue
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        heappush(queue._heap, (arrival, 0, seq, handler, msg))
+        queue._live += 1
+        if sim.trace_enabled:
+            sim.tracer.record(now, "net.send", msg=str(msg), arrival=arrival)
         return arrival
+
+    def send_fanout(
+        self,
+        src: int,
+        targets: tuple[int, ...],
+        kind: str,
+        payload: object,
+        size_bytes: int,
+    ) -> None:
+        """Send one payload from ``src`` to every target (multicast path).
+
+        Semantically identical to building and :meth:`send`-ing one
+        :class:`Message` per target, but with the per-message constants
+        (stats counters, serialization delay, clock, heap) hoisted out
+        of the loop.  Loss-model and tracing runs take the plain
+        :meth:`send` path so per-message drop decisions and trace
+        records stay exactly as before.
+        """
+        sim = self.sim
+        if self.loss_model is not None or sim.trace_enabled:
+            for dst in targets:
+                self.send(Message(src, dst, kind, payload, size_bytes))
+            return
+        now = sim._now
+        n = len(targets)
+        stats = self.stats
+        stats.messages += n
+        stats.bytes += size_bytes * n
+        stats.by_kind[kind] += n
+        stats.outbound[src] += n
+        inbound = stats.inbound
+        direct = self._direct
+        base_latency = self._base_latency
+        last_arrival = self._last_arrival
+        serial = size_bytes / self._link_bandwidth
+        queue = self._queue
+        heap = queue._heap
+        seq = queue._next_seq
+        for dst in targets:
+            handler = direct.get((dst, kind))
+            if handler is None:
+                handler = self._resolve_direct(dst, kind)
+            msg = Message(src, dst, kind, payload, size_bytes)
+            msg.sent_at = now
+            key = (src, dst)
+            base = base_latency.get(key)
+            if base is None:
+                base = self.topology.hops(src, dst) * self._hop_latency
+                base_latency[key] = base
+            arrival = now + (base + serial)
+            inbound[dst] += 1
+            previous = last_arrival.get(key)
+            if previous is not None and arrival < previous:
+                arrival = previous
+            last_arrival[key] = arrival
+            heappush(heap, (arrival, 0, seq, handler, msg))
+            seq += 1
+        queue._next_seq = seq
+        queue._live += n

@@ -27,6 +27,7 @@ class Topology(ABC):
         if n_nodes < 1:
             raise TopologyError(f"topology needs at least one node: {n_nodes}")
         self.n_nodes = n_nodes
+        self._diameter: int | None = None
 
     def _check(self, node: int) -> None:
         if not 0 <= node < self.n_nodes:
@@ -43,7 +44,17 @@ class Topology(ABC):
         """Length in physical hops of the shortest path from ``a`` to ``b``."""
 
     def diameter(self) -> int:
-        """The largest shortest-path distance between any node pair."""
+        """The largest shortest-path distance between any node pair.
+
+        The O(n²) all-pairs scan runs once; later calls return the
+        cached value (topologies are immutable after construction).
+        """
+        if self._diameter is None:
+            self._diameter = self._diameter_uncached()
+        return self._diameter
+
+    def _diameter_uncached(self) -> int:
+        """The brute-force all-pairs diameter (regression reference)."""
         return max(
             self.hops(a, b)
             for a in range(self.n_nodes)
@@ -70,20 +81,34 @@ class MeshTorus(Topology):
         cols = math.ceil(n_nodes / rows)
         self.rows = rows
         self.cols = cols
+        #: Precomputed (row, col) per node; grids are small enough that
+        #: materializing the table beats recomputing divmod per lookup.
+        self._coords: tuple[tuple[int, int], ...] = tuple(
+            divmod(node, cols) for node in range(n_nodes)
+        )
+        #: Memoized hop counts keyed ``(a, b)``.  Only validated pairs
+        #: are ever inserted, so a cache hit implies in-range arguments.
+        self._hops_cache: dict[tuple[int, int], int] = {}
 
     def coords(self, node: int) -> tuple[int, int]:
         """Grid (row, col) of a processor node."""
         self._check(node)
-        return divmod(node, self.cols)
+        return self._coords[node]
 
     def _axis_hops(self, a: int, b: int, size: int) -> int:
         direct = abs(a - b)
         return min(direct, size - direct)
 
     def hops(self, a: int, b: int) -> int:
+        key = (a, b)
+        cached = self._hops_cache.get(key)
+        if cached is not None:
+            return cached
         ra, ca = self.coords(a)
         rb, cb = self.coords(b)
-        return self._axis_hops(ra, rb, self.rows) + self._axis_hops(ca, cb, self.cols)
+        result = self._axis_hops(ra, rb, self.rows) + self._axis_hops(ca, cb, self.cols)
+        self._hops_cache[key] = result
+        return result
 
     def neighbors(self, node: int) -> tuple[int, ...]:
         row, col = self.coords(node)

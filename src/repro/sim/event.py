@@ -4,13 +4,18 @@ Events are ordered by ``(time, priority, sequence)``.  The monotonically
 increasing sequence number makes ordering total and deterministic: two
 events scheduled for the same instant fire in the order they were
 scheduled, regardless of heap internals.
+
+Performance note: the heap stores plain ``(time, priority, seq, event)``
+tuples rather than the :class:`Event` handles themselves.  Tuple
+comparison happens entirely in C, which roughly halves the cost of every
+``heappush``/``heappop`` relative to comparing Python objects.  The
+``seq`` element is unique, so the trailing :class:`Event` is never
+compared.  :class:`Event` stays the public, cancellable handle.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -23,7 +28,6 @@ PRIORITY_URGENT = -1
 PRIORITY_LAZY = 1
 
 
-@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
 
@@ -31,27 +35,60 @@ class Event:
         time: Simulated time at which the event fires.
         priority: Tie-break rank for events at the same time (lower first).
         seq: Scheduling order, the final tie-break.
-        fn: Callback invoked when the event fires.  Excluded from ordering.
+        fn: Callback invoked when the event fires.
         cancelled: Set by :meth:`cancel`; cancelled events are skipped.
     """
 
-    time: float
-    priority: int
-    seq: int
-    fn: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[[], Any],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+        #: The queue currently holding this event; ``None`` once popped.
+        self._queue: "EventQueue | None" = None
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(time={self.time}, priority={self.priority}, seq={self.seq}, {state})"
 
     def cancel(self) -> None:
-        """Mark this event so the queue skips it when popped."""
+        """Mark this event so the queue skips it when popped.
+
+        Cancellation is routed through the owning queue, so the queue's
+        live count stays exact without any separate bookkeeping call.
+        Cancelling twice, or cancelling an event that already fired, is
+        a no-op.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._live -= 1
 
 
 class EventQueue:
     """A deterministic min-heap of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_next_seq", "_live")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        #: Heap entries are ``(time, priority, seq, target)`` tuples,
+        #: optionally extended with a single call argument:
+        #: ``(time, priority, seq, fn, arg)``.  ``target`` is either a
+        #: cancellable :class:`Event` or a bare callable.
+        self._heap: list[tuple] = []
+        self._next_seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -69,36 +106,94 @@ class EventQueue:
         """Schedule ``fn`` at ``time`` and return the cancellable event."""
         if time != time:  # NaN guard
             raise SimulationError("event time is NaN")
-        event = Event(time=time, priority=priority, seq=next(self._counter), fn=fn)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, priority, seq, fn)
+        event._queue = self
+        heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
+    def push_fn(
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Schedule ``fn`` at ``time`` without a cancellable handle.
+
+        The hot-path variant of :meth:`push`: the bare callable goes
+        straight into the heap tuple, skipping the :class:`Event`
+        allocation entirely.  Use it for fire-and-forget events (message
+        deliveries, process steps) that nothing ever cancels.
+        """
+        if time != time:  # NaN guard
+            raise SimulationError("event time is NaN")
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heappush(self._heap, (time, priority, seq, fn))
+        self._live += 1
+
+    def push_call(
+        self,
+        time: float,
+        fn: Callable[[Any], Any],
+        arg: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Schedule ``fn(arg)`` at ``time`` without a cancellable handle.
+
+        Like :meth:`push_fn` but carries one argument in the heap entry
+        itself, so hot senders need no ``partial``/closure allocation
+        per event.
+        """
+        if time != time:  # NaN guard
+            raise SimulationError("event time is NaN")
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heappush(self._heap, (time, priority, seq, fn, arg))
+        self._live += 1
+
     def pop(self) -> Event:
-        """Remove and return the earliest non-cancelled event."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
+        """Remove and return the earliest non-cancelled event.
+
+        Handle-less entries (see :meth:`push_fn` / :meth:`push_call`)
+        are wrapped in a fresh, already-dequeued :class:`Event` so
+        callers see one type.
+        """
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            target = entry[3]
+            if target.__class__ is Event:
+                if target.cancelled:
+                    continue
+                target._queue = None
+                self._live -= 1
+                return target
             self._live -= 1
-            return event
+            if len(entry) == 5:
+                arg = entry[4]
+                return Event(entry[0], entry[1], entry[2], lambda: target(arg))
+            return Event(entry[0], entry[1], entry[2], target)
         raise SimulationError("pop from empty event queue")
 
     def peek_time(self) -> float:
         """Time of the earliest non-cancelled event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            raise SimulationError("peek on empty event queue")
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            head = heap[0][3]
+            if head.__class__ is Event and head.cancelled:
+                heappop(heap)
+                continue
+            return heap[0][0]
+        raise SimulationError("peek on empty event queue")
 
     def note_cancelled(self) -> None:
-        """Inform the queue that one pushed event was cancelled externally.
+        """Deprecated no-op, kept for API compatibility.
 
-        :meth:`Event.cancel` does not know which queue holds the event, so
-        callers that cancel should also call this to keep ``len()`` exact.
-        The queue remains correct without it (cancelled events are skipped
-        on pop); only the live count would drift.
+        :meth:`Event.cancel` now maintains the live count itself, so
+        there is no external bookkeeping left to do; calling this extra
+        method can no longer desynchronize ``len()``.
         """
-        if self._live > 0:
-            self._live -= 1
+        return None

@@ -8,6 +8,7 @@ process schedules its first step as an ordinary event.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import SimulationError
@@ -30,6 +31,10 @@ class Simulator:
         self._running = False
         self.rng = RngStreams(seed)
         self.tracer = tracer if tracer is not None else NullTracer()
+        #: Cached ``tracer.enabled`` so hot paths pay one attribute read
+        #: instead of a property call per event.  The tracer is fixed at
+        #: construction time, so the flag never goes stale.
+        self.trace_enabled: bool = self.tracer.enabled
         self._processes: list["Process"] = []  # noqa: F821 - forward ref
 
     @property
@@ -66,11 +71,37 @@ class Simulator:
             )
         return self._queue.push(time, fn, priority)
 
+    def schedule_fn(
+        self,
+        delay: float,
+        fn: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Schedule ``fn`` after ``delay`` with no cancellable handle.
+
+        The hot-path variant of :meth:`schedule` for fire-and-forget
+        events; see :meth:`EventQueue.push_fn`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        self._queue.push_fn(self._now + delay, fn, priority)
+
+    def at_fn(
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Schedule ``fn`` at absolute ``time`` with no cancellable handle."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: time={time} < now={self._now}"
+            )
+        self._queue.push_fn(time, fn, priority)
+
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event."""
-        if not event.cancelled:
-            event.cancel()
-            self._queue.note_cancelled()
+        """Cancel a previously scheduled event (idempotent)."""
+        event.cancel()
 
     def spawn(
         self,
@@ -120,18 +151,86 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         fired = 0
+        # The loop below is a manually inlined pop/advance cycle: it
+        # peeks and pops heap tuples directly instead of going through
+        # EventQueue.pop + Simulator.step, which removes two Python
+        # method calls per event on the hottest path in the simulator.
+        # Heap entries carry a cancellable Event handle, a bare callback
+        # (push_fn), or a callback plus one argument (push_call).
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        event_cls = Event
+        # The pop count is kept in a local and folded into the queue's
+        # live count on exit: nothing observes pending_events mid-run,
+        # and a local integer add is far cheaper than an attribute
+        # read-modify-write per event.  Cancellations and pushes during
+        # callbacks still adjust _live directly, which composes with the
+        # deferred subtraction.
+        popped = 0
         try:
-            while self._queue:
-                if until is not None and self._queue.peek_time() > until:
+            if until is None and max_events is None:
+                # The common run-to-completion case gets the leanest
+                # loop: no bound checks at all.
+                while heap:
+                    entry = heap[0]
+                    target = entry[3]
+                    is_event = target.__class__ is event_cls
+                    if is_event and target.cancelled:
+                        heappop(heap)
+                        continue
+                    time = entry[0]
+                    heappop(heap)
+                    popped += 1
+                    if time < self._now:
+                        raise SimulationError(
+                            f"event queue went backwards: {time} < {self._now}"
+                        )
+                    self._now = time
+                    if is_event:
+                        target._queue = None
+                        target.fn()
+                    elif len(entry) == 5:
+                        target(entry[4])
+                    else:
+                        target()
+                return self._now
+            # Bounded run: sentinels keep the per-event checks single
+            # comparisons rather than None tests.
+            time_limit = float("inf") if until is None else until
+            event_limit = max_events if max_events is not None else float("inf")
+            while heap:
+                entry = heap[0]
+                target = entry[3]
+                is_event = target.__class__ is event_cls
+                if is_event and target.cancelled:
+                    heappop(heap)
+                    continue
+                time = entry[0]
+                if time > time_limit:
                     self._now = until
                     break
-                self.step()
+                heappop(heap)
+                popped += 1
+                if time < self._now:
+                    raise SimulationError(
+                        f"event queue went backwards: {time} < {self._now}"
+                    )
+                self._now = time
+                if is_event:
+                    target._queue = None
+                    target.fn()
+                elif len(entry) == 5:
+                    target(entry[4])
+                else:
+                    target()
                 fired += 1
-                if max_events is not None and fired > max_events:
+                if fired > event_limit:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a livelock"
                     )
         finally:
+            queue._live -= popped
             self._running = False
         return self._now
 

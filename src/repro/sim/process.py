@@ -20,10 +20,10 @@ so model bugs fail tests loudly instead of silently killing a process.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Generator
 
 from repro.errors import ProcessError
-from repro.sim.event import Event
 from repro.sim.waiters import Future, Signal
 
 
@@ -49,9 +49,15 @@ class Process:
         self.finished = False
         self.result: Any = None
         self._completion = Future(name=f"{name}.done")
-        self._pending_event: Event | None = None
+        # Process steps are fire-and-forget: nothing in the library
+        # cancels a pending resume, so steps use the simulator's
+        # handle-less fast path (no Event allocation per step).  The
+        # push is bound once; delays are validated in _dispatch, so the
+        # past-check in Simulator.schedule is redundant here.
+        self._resume_none = partial(self._resume, None)
+        self._push = sim._queue.push_fn
         # Start the process "now" so spawn order equals first-step order.
-        self._pending_event = sim.schedule(0.0, lambda: self._resume(None))
+        self._push(sim._now, self._resume_none)
 
     def __repr__(self) -> str:
         state = "finished" if self.finished else "running"
@@ -64,7 +70,6 @@ class Process:
 
     def _resume(self, value: Any) -> None:
         """Advance the generator one step, dispatching its next request."""
-        self._pending_event = None
         if self.finished:
             raise ProcessError(f"process {self.name!r} resumed after finish")
         try:
@@ -77,16 +82,21 @@ class Process:
         self._dispatch(request)
 
     def _dispatch(self, request: Any) -> None:
-        if request is None:
-            self._pending_event = self.sim.schedule(0.0, lambda: self._resume(None))
-        elif isinstance(request, (int, float)):
+        if request.__class__ is float or request.__class__ is int:
             if request < 0:
                 raise ProcessError(
                     f"process {self.name!r} yielded a negative delay: {request}"
                 )
-            self._pending_event = self.sim.schedule(
-                float(request), lambda: self._resume(None)
-            )
+            self._push(self.sim._now + request, self._resume_none)
+        elif request is None:
+            self._push(self.sim._now, self._resume_none)
+        elif isinstance(request, (int, float)):
+            # Subclasses of int/float (e.g. bool) still mean "sleep".
+            if request < 0:
+                raise ProcessError(
+                    f"process {self.name!r} yielded a negative delay: {request}"
+                )
+            self._push(self.sim._now + float(request), self._resume_none)
         elif isinstance(request, Future):
             request.add_callback(self._resume_later)
         elif isinstance(request, Signal):
@@ -105,4 +115,7 @@ class Process:
         process synchronously; scheduling the resume keeps the event loop
         the only caller of process code.
         """
-        self._pending_event = self.sim.schedule(0.0, lambda: self._resume(value))
+        if value is None:
+            self._push(self.sim._now, self._resume_none)
+        else:
+            self.sim._queue.push_call(self.sim._now, self._resume, value)

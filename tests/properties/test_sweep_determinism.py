@@ -1,0 +1,79 @@
+"""Parallel sweep execution is observationally identical to serial.
+
+The :class:`~repro.experiments.runner.SweepExecutor` promises that
+fanning sweep points across worker processes changes wall-clock only:
+every row comes back in submission order with bit-identical floats,
+because each point derives all randomness from its own seed and shares
+no state with its neighbours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.runner import JOBS_ENV, SweepExecutor, default_jobs
+from repro.workloads.task_queue import TaskQueueConfig, run_task_queue
+
+# Small scales keep each point fast; the executor's behaviour does not
+# depend on point size.
+FIG2_KW = dict(sizes=(3, 5), total_tasks=32)
+FIG8_KW = dict(sizes=(2, 4), data_size=32)
+
+
+def _seeded_speedup(seed: int) -> float:
+    """One task-queue run at a given seed (module-level: picklable)."""
+    result = run_task_queue(
+        TaskQueueConfig(system="gwc", n_nodes=3, total_tasks=24, seed=seed)
+    )
+    return result.speedup
+
+
+class TestParallelMatchesSerial:
+    def test_figure2_rows_bit_identical(self):
+        serial = run_figure2(**FIG2_KW)
+        parallel = run_figure2(**FIG2_KW, jobs=4)
+        assert serial == parallel
+
+    def test_figure8_rows_bit_identical(self):
+        serial = run_figure8(**FIG8_KW)
+        parallel = run_figure8(**FIG8_KW, jobs=4)
+        assert serial == parallel
+
+    def test_multiple_seeds_bit_identical(self):
+        seeds = [0, 1, 2, 17, 42]
+        serial = [_seeded_speedup(seed) for seed in seeds]
+        parallel = SweepExecutor(jobs=4).map(_seeded_speedup, seeds)
+        assert serial == parallel
+
+    def test_result_order_matches_submission_order(self):
+        rows = SweepExecutor(jobs=3).map(_seeded_speedup, [5, 3, 9])
+        assert rows == [_seeded_speedup(5), _seeded_speedup(3), _seeded_speedup(9)]
+
+
+class TestExecutorConfig:
+    def test_serial_when_jobs_one(self):
+        assert SweepExecutor(jobs=1).map(len, ["ab", "c"]) == [2, 1]
+
+    def test_empty_items(self):
+        assert SweepExecutor(jobs=4).map(len, []) == []
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert default_jobs() == 3
+        assert SweepExecutor().jobs == 3
+
+    def test_env_var_absent_means_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert default_jobs() == 1
+
+    def test_env_var_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(ExperimentError, match="REPRO_JOBS"):
+            default_jobs()
+
+    def test_explicit_jobs_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "8")
+        assert SweepExecutor(jobs=2).jobs == 2

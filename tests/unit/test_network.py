@@ -141,3 +141,30 @@ class TestPerNodeStats:
     def test_hottest_receiver_empty(self):
         sim, net = make_net(4)
         assert net.stats.hottest_receiver() == (-1, 0)
+
+
+class _DropAll:
+    """Loss-model stub: drop every message of one kind."""
+
+    def __init__(self, kind):
+        self.kind = kind
+
+    def should_drop(self, msg):
+        return msg.kind == self.kind
+
+
+class TestDropStats:
+    def test_dropped_counter_and_inbound_exclusion(self):
+        sim = Simulator()
+        net = Network(sim, Ring(4), MachineParams(), loss_model=_DropAll("lossy"))
+        got = []
+        net.attach(1, lambda msg: got.append(msg.kind))
+        net.send(Message(src=0, dst=1, kind="lossy"))
+        net.send(Message(src=0, dst=1, kind="kept"))
+        sim.run()
+        assert got == ["kept"]
+        # Drops count as sent traffic but never as received load.
+        assert net.stats.dropped == 1
+        assert net.stats.messages == 2
+        assert net.stats.outbound[0] == 2
+        assert net.stats.inbound[1] == 1

@@ -168,3 +168,52 @@ class TestSimulator:
         sim2 = Simulator(seed=1)
         sim2.rng.stream("b").random()
         assert sim2.rng.stream("a").random() == first
+
+
+class TestCancellation:
+    """The queue-routed cancellation bookkeeping stays exact."""
+
+    def test_double_cancel_is_noop(self):
+        queue = EventQueue()
+        kept: list[str] = []
+        doomed = queue.push(1.0, lambda: kept.append("doomed"))
+        queue.push(2.0, lambda: kept.append("kept"))
+        doomed.cancel()
+        doomed.cancel()  # second cancel must not decrement again
+        assert len(queue) == 1
+        while queue:
+            queue.pop().fn()
+        assert kept == ["kept"]
+
+    def test_cancel_keeps_live_count_exact(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(6)]
+        assert len(queue) == 6
+        events[1].cancel()
+        events[4].cancel()
+        assert len(queue) == 4
+        popped = 0
+        while queue:
+            queue.pop()
+            popped += 1
+        assert popped == 4
+        assert len(queue) == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired: list[str] = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        sim.schedule(2.0, lambda: fired.append("y"))
+        sim.run()
+        assert fired == ["x", "y"]
+        event.cancel()  # already fired: must not corrupt the count
+        assert sim.pending_events == 0
+
+    def test_cancel_during_run_respects_pending_count(self):
+        sim = Simulator()
+        fired: list[str] = []
+        later = sim.schedule(2.0, lambda: fired.append("later"))
+        sim.schedule(1.0, lambda: later.cancel())
+        sim.run()
+        assert fired == []
+        assert sim.pending_events == 0

@@ -131,3 +131,12 @@ class TestFactory:
         assert Ring(8).diameter() == 4
         assert Star(5).diameter() == 2
         assert FullyConnected(3).diameter() == 1
+
+
+class TestDiameterCache:
+    def test_cached_diameter_matches_uncached(self):
+        for topology in (MeshTorus(9), Ring(7), Star(6)):
+            first = topology.diameter()
+            assert first == topology._diameter_uncached()
+            # Second call hits the cache and must agree.
+            assert topology.diameter() == first
