@@ -2,13 +2,18 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full bench-json perf-smoke examples figures all clean
+.PHONY: install test chaos-smoke bench bench-full bench-json perf-smoke examples figures all clean
 
 install:
 	$(PY) setup.py develop
 
 test:
-	$(PY) -m pytest tests/
+	PYTHONPATH=src $(PY) -m pytest tests/
+	PYTHONPATH=src $(PY) -m repro chaos --smoke
+
+# Deterministic fault-injection mini-matrix (< 30 s); part of `make test`.
+chaos-smoke:
+	PYTHONPATH=src $(PY) -m repro chaos --smoke
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -10,6 +10,8 @@ Usage::
     python -m repro ablations
     python -m repro grouping [--sizes 8,16,32]
     python -m repro systems          # list registered consistency systems
+    python -m repro chaos [--smoke] [--scenario crash_holder|...|mixed]
+                          [--systems gwc,...] [--seeds N] [--csv F]
 
 Every command prints the same rows/series the paper's figure reports,
 followed by the qualitative expectation checklist.
@@ -162,6 +164,157 @@ def _cmd_grouping(args: argparse.Namespace) -> int:
     return 0 if all(row.slowdown > 1.0 for row in rows) else 1
 
 
+def _chaos_combos(args: argparse.Namespace) -> list[tuple[str, str, str]]:
+    """Expand the chaos flags into (system, workload, scenario) runs."""
+    from repro.faults.chaos import GWC_FAMILY, SCENARIOS
+
+    if args.smoke:
+        # A fixed, deterministic mini-matrix covering every scenario,
+        # both workloads, and a non-GWC system.  Keep it fast: this runs
+        # inside the default `make test`.
+        return [
+            ("gwc", "counter", "crash_holder"),
+            ("gwc_optimistic", "counter", "crash_holder"),
+            ("gwc", "counter", "churn"),
+            ("gwc", "counter", "partition"),
+            ("gwc", "counter", "duplicate"),
+            ("gwc", "task_queue", "delay"),
+            ("release", "counter", "delay"),
+        ]
+    systems = [name for name in args.systems.split(",") if name]
+    combos: list[tuple[str, str, str]] = []
+    if args.scenario == "mixed":
+        for system in systems:
+            scenarios = SCENARIOS if system in GWC_FAMILY else ("delay",)
+            for scenario in scenarios:
+                if args.workload == "task_queue" and scenario in (
+                    "crash_holder",
+                    "churn",
+                ):
+                    continue
+                combos.append((system, args.workload, scenario))
+    else:
+        combos = [(system, args.workload, args.scenario) for system in systems]
+    return combos
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import ChaosConfig, run_chaos
+    from repro.metrics.export import write_csv
+
+    combos = _chaos_combos(args)
+    seeds = range(args.seed, args.seed + (1 if args.smoke else args.seeds))
+    results = []
+    for system, workload, scenario in combos:
+        for seed in seeds:
+            config = ChaosConfig(
+                system=system,
+                workload=workload,
+                scenario=scenario,
+                n_nodes=args.nodes,
+                ops_per_node=args.ops,
+                seed=seed,
+                recovery=not args.no_recovery,
+            )
+            results.append(run_chaos(config))
+
+    rows = []
+    csv_rows = []
+    for result in results:
+        cfg = result.config
+        if result.stall is not None:
+            status = "STALL"
+        elif result.invariant_errors:
+            status = "FAIL"
+        else:
+            status = "ok"
+        recovery_us = (
+            f"{1e6 * sum(result.recovery_times) / len(result.recovery_times):.1f}"
+            if result.recovery_times
+            else "-"
+        )
+        summary = result.fault_summary
+        rows.append(
+            [
+                cfg.system,
+                cfg.workload,
+                cfg.scenario,
+                cfg.seed,
+                status,
+                f"{result.final_counter}/{result.chain_length}",
+                result.lock_timeouts,
+                result.lock_retries,
+                summary["lock_reclaims"],
+                recovery_us,
+                result.messages,
+                result.dropped,
+            ]
+        )
+        csv_rows.append(
+            {
+                "system": cfg.system,
+                "workload": cfg.workload,
+                "scenario": cfg.scenario,
+                "seed": cfg.seed,
+                "ok": result.ok,
+                "final_counter": result.final_counter,
+                "chain_length": result.chain_length,
+                "converged": result.converged,
+                "lock_requests": result.lock_requests,
+                "lock_timeouts": result.lock_timeouts,
+                "lock_retries": result.lock_retries,
+                "lock_reclaims": summary["lock_reclaims"],
+                "recovery_time_mean_s": (
+                    sum(result.recovery_times) / len(result.recovery_times)
+                    if result.recovery_times
+                    else 0.0
+                ),
+                "messages": result.messages,
+                "dropped": result.dropped,
+                "fault_dropped": summary["fault_dropped"],
+                "fault_delayed": summary["fault_delayed"],
+                "fault_duplicated": summary["fault_duplicated"],
+                "stall": result.stall or "",
+            }
+        )
+
+    print(
+        format_table(
+            [
+                "system",
+                "workload",
+                "scenario",
+                "seed",
+                "status",
+                "done/chain",
+                "timeouts",
+                "retries",
+                "reclaims",
+                "recovery us",
+                "msgs",
+                "dropped",
+            ],
+            rows,
+            title="Chaos soak: seeded faults vs the recovery stack",
+        )
+    )
+    failures = [r for r in results if not r.ok]
+    for result in failures:
+        cfg = result.config
+        label = f"{cfg.system}/{cfg.workload}/{cfg.scenario}/seed{cfg.seed}"
+        if result.stall is not None:
+            print(f"STALL {label}: {result.stall}")
+        for error in result.invariant_errors:
+            print(f"FAIL  {label}: {error}")
+    if args.csv:
+        path = write_csv(args.csv, csv_rows)
+        print(f"wrote {path}")
+    print(
+        f"chaos: {len(results) - len(failures)}/{len(results)} run(s) ok"
+    )
+    return 0 if not failures else 1
+
+
 def _cmd_systems(args: argparse.Namespace) -> int:
     for name in system_names():
         print(name)
@@ -277,6 +430,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     ps = sub.add_parser("systems", help="list consistency systems")
     ps.set_defaults(fn=_cmd_systems)
+
+    pc = sub.add_parser(
+        "chaos", help="seeded fault injection against the recovery stack"
+    )
+    pc.add_argument(
+        "--scenario",
+        type=str,
+        default="mixed",
+        help="crash_holder|churn|partition|delay|duplicate|mixed (default)",
+    )
+    pc.add_argument(
+        "--systems",
+        type=str,
+        default="gwc,gwc_optimistic",
+        metavar="A,B",
+        help="comma-separated consistency systems (default: GWC family)",
+    )
+    pc.add_argument(
+        "--workload", type=str, default="counter", help="counter|task_queue"
+    )
+    pc.add_argument("--nodes", type=int, default=6)
+    pc.add_argument("--ops", type=int, default=8, help="operations per node")
+    pc.add_argument("--seed", type=int, default=0)
+    pc.add_argument(
+        "--seeds", type=int, default=1, metavar="N", help="run N seeds from --seed"
+    )
+    pc.add_argument(
+        "--no-recovery",
+        action="store_true",
+        help="disarm leases/retries (crash scenarios then end in a STALL)",
+    )
+    pc.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fixed deterministic mini-matrix (used by `make chaos-smoke`)",
+    )
+    pc.add_argument("--csv", type=str, default="", metavar="FILE")
+    pc.set_defaults(fn=_cmd_chaos)
 
     pr = sub.add_parser(
         "reproduce", help="regenerate every paper artefact and print a digest"

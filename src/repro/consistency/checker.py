@@ -64,6 +64,25 @@ class MutualExclusionChecker:
             SectionSpan(lock=lock, node=node, enter=current[1], exit=time)
         )
 
+    def node_crashed(self, node: int, time: float) -> list[str]:
+        """Force-exit every section ``node`` was inside when it crashed.
+
+        A crashed holder never reaches its ``exit`` call; without this
+        hook the next lease-reclaim grant would be reported as a false
+        mutual-exclusion violation.  The truncated occupancy is still
+        recorded as a span (its real extent ended at the crash).
+        Returns the lock names that were force-exited.
+        """
+        released = [
+            lock for lock, (inside, _since) in self._inside.items() if inside == node
+        ]
+        for lock in released:
+            _inside, since = self._inside.pop(lock)
+            self.spans.append(
+                SectionSpan(lock=lock, node=node, enter=since, exit=time)
+            )
+        return released
+
     def observe_rmw(self, counter: str, read_value: object, written_value: object) -> None:
         """Record one read-modify-write on a guarded counter."""
         self.chains.setdefault(counter, []).append((read_value, written_value))

@@ -19,13 +19,14 @@ sections executed by the Section 4 optimistic protocol.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Generator
 
 from repro.consistency.base import DsmSystem, register_system
 from repro.core.node import NodeHandle
 from repro.core.section import Section, SectionOutcome
 from repro.errors import MemoryError_
-from repro.locks.gwc_lock import GwcLockClient, GwcLockManager
+from repro.locks.gwc_lock import GwcLockClient, GwcLockManager, LockRetryPolicy
 from repro.memory.interface import ApplyPacket, UpdateRequest
 from repro.memory.sharing_group import SharingGroup
 from repro.memory.varspace import LockDecl
@@ -58,10 +59,70 @@ class GroupRootEngine:
         #: Members that dynamically disabled eagersharing, per variable.
         self._excluded: dict[str, set[int]] = {}
         self.suppressed_sends = 0
+        #: Lock-recovery configuration (see :meth:`configure_lock_recovery`).
+        self._lock_recovery = False
+        self._lease_duration: float | None = None
+        self._lease_is_crashed: "Callable[[int], bool] | None" = None
 
     def enable_reliability(self, heartbeat_interval: float) -> None:
         """Keep history for retransmission and emit trailing heartbeats."""
         self._heartbeat_interval = heartbeat_interval
+
+    def emit_heartbeat(self) -> None:
+        """Immediately announce the latest sequence number to members.
+
+        The trailing heartbeat only re-arms on new sequenced traffic, so
+        a member cut off by a (now healed) partition could otherwise
+        miss the final packets forever if no further writes happen.  The
+        fault injector calls this on partition heal and node restart so
+        NACK-based catch-up starts at once.  No-op when reliability is
+        off (there is no retransmission history to catch up from).
+        """
+        if self._heartbeat_interval is None:
+            return
+        if self._heartbeat_event is not None:
+            self.sim.cancel(self._heartbeat_event)
+            self._heartbeat_event = None
+        self._emit_heartbeat()
+
+    def configure_lock_recovery(
+        self,
+        lease_duration: float | None = None,
+        is_crashed: "Callable[[int], bool] | None" = None,
+    ) -> None:
+        """Enable recovery mode (and optionally leases) on every lock.
+
+        Applies to locks already declared and to locks added later.
+        With ``lease_duration`` set, each manager reclaims a crashed
+        holder's lock after the lease expires, emitting the follow-on
+        grant through the normal sequencing path.
+        """
+        self._lock_recovery = True
+        self._lease_duration = lease_duration
+        self._lease_is_crashed = is_crashed
+        for manager in self.lock_managers.values():
+            self._apply_recovery(manager)
+
+    def _apply_recovery(self, manager: GwcLockManager) -> None:
+        manager.enable_recovery()
+        if self._lease_duration is not None:
+            manager.enable_lease(
+                self.sim,
+                partial(self._emit_lock_values, manager.decl.name),
+                self._lease_duration,
+                self._lease_is_crashed,
+            )
+
+    def _emit_lock_values(self, name: str, values: list[Any]) -> None:
+        """Sequence root-originated lock writes (lease reclaim grants)."""
+        for value in values:
+            self._sequence_and_multicast(
+                var=name,
+                value=value,
+                origin=self.group.root,
+                is_mutex_data=False,
+                is_lock=True,
+            )
 
     def on_nack(self, member: int, from_seq: int) -> None:
         """Resend every sequenced packet from ``from_seq`` to ``member``."""
@@ -148,6 +209,8 @@ class GroupRootEngine:
     def add_lock(self, decl: LockDecl) -> GwcLockManager:
         manager = GwcLockManager(decl)
         self.lock_managers[decl.name] = manager
+        if self._lock_recovery:
+            self._apply_recovery(manager)
         return manager
 
     def manager(self, lock: str) -> GwcLockManager:
@@ -256,14 +319,22 @@ class GwcSystem(DsmSystem):
 
     name = "gwc"
 
-    def __init__(self, machine: "DSMMachine") -> None:  # noqa: F821
+    def __init__(
+        self,
+        machine: "DSMMachine",  # noqa: F821
+        lock_retry: LockRetryPolicy | None = None,
+    ) -> None:
         super().__init__(machine)
         self._clients: dict[str, GwcLockClient] = {}
+        #: Optional timeout/backoff policy for every lock acquisition
+        #: (see :class:`~repro.locks.gwc_lock.LockRetryPolicy`).  None
+        #: keeps the paper's block-forever protocol.
+        self.lock_retry = lock_retry
 
     def _client(self, lock: str) -> GwcLockClient:
         client = self._clients.get(lock)
         if client is None:
-            client = GwcLockClient(self.machine.lock_decl(lock))
+            client = GwcLockClient(self.machine.lock_decl(lock), self.lock_retry)
             self._clients[lock] = client
         return client
 
@@ -317,8 +388,9 @@ class OptimisticGwcSystem(GwcSystem):
         force: str | None = None,
         wait_mode: str | None = None,
         swap_overhead: float | None = None,
+        lock_retry: LockRetryPolicy | None = None,
     ) -> None:
-        super().__init__(machine)
+        super().__init__(machine, lock_retry=lock_retry)
         from repro.locks.history import DEFAULT_DECAY, DEFAULT_THRESHOLD
         from repro.locks.optimistic import (
             WAIT_SPIN,

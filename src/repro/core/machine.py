@@ -54,16 +54,24 @@ class DSMMachine:
         echo_blocking: bool = True,
         checker: MutualExclusionChecker | None = None,
         loss_rate: float = 0.0,
+        reliable: bool = False,
     ) -> None:
         self.params = params
         self.sim = Simulator(seed=seed, tracer=tracer)
         self.topology = make_topology(topology, n_nodes)
         self.loss_model = None
         nack_timeout = None
-        if loss_rate > 0.0:
-            from repro.net.loss import LossModel
+        if loss_rate > 0.0 or reliable:
+            # ``reliable`` arms the NACK/heartbeat/duplicate-tolerance
+            # machinery without random loss — needed when a fault
+            # injector (rather than the loss model) removes or
+            # duplicates messages.
+            if loss_rate > 0.0:
+                from repro.net.loss import LossModel
 
-            self.loss_model = LossModel(loss_rate, self.sim.rng.stream("loss"))
+                self.loss_model = LossModel(
+                    loss_rate, self.sim.rng.stream("loss")
+                )
             # Recovery timeout: comfortably above one diameter crossing.
             nack_timeout = max(
                 4.0 * self.topology.diameter() * params.hop_latency

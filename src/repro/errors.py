@@ -20,6 +20,17 @@ class ProcessError(SimulationError):
     """A simulated process misbehaved (bad yield value, double resume...)."""
 
 
+class StallError(SimulationError):
+    """The progress watchdog detected a silent hang.
+
+    Raised by :class:`repro.sim.watchdog.Watchdog` when the simulation
+    exceeds its simulated-time budget, when no runnable event remains
+    while processes are still blocked, or when no process advances for
+    several consecutive checks.  The message names every blocked process
+    and what it is waiting on.
+    """
+
+
 class TopologyError(ReproError):
     """An invalid network topology or routing request."""
 
@@ -69,6 +80,18 @@ class LockStateError(LockError):
     a lock the caller does not hold)."""
 
 
+class LockTimeoutError(LockError):
+    """A lock request exhausted its retry budget without being granted.
+
+    Raised by :class:`repro.locks.gwc_lock.GwcLockClient` when a
+    :class:`~repro.locks.gwc_lock.LockRetryPolicy` is configured and
+    every timed request attempt (with exponential backoff between
+    retries) expired before the grant arrived — typically because the
+    lock holder or the group root crashed, or a partition swallowed the
+    request.
+    """
+
+
 class RollbackError(ReproError):
     """A failure while saving or restoring optimistic rollback state."""
 
@@ -79,3 +102,13 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment sweep was configured with invalid parameters."""
+
+
+class FaultError(ReproError):
+    """An invalid fault plan or fault-injection request.
+
+    Raised when a :class:`repro.faults.plan.FaultPlan` is malformed
+    (crash of an unknown node, heal of a partition that was never cut,
+    overlapping injector installs) or when a chaos scenario is
+    incompatible with the requested consistency system.
+    """

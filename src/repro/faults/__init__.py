@@ -1,0 +1,41 @@
+"""Fault injection and chaos testing for the simulated DSM.
+
+* :mod:`repro.faults.plan` — declarative, seeded fault schedules
+  (:class:`~repro.faults.plan.FaultPlan` built from
+  :func:`~repro.faults.plan.crash` / :func:`~repro.faults.plan.restart` /
+  :func:`~repro.faults.plan.partition` / :func:`~repro.faults.plan.heal` /
+  :func:`~repro.faults.plan.delay` / :func:`~repro.faults.plan.duplicate`
+  events).
+* :mod:`repro.faults.injector` — :class:`~repro.faults.injector.FaultInjector`
+  executes a plan against a live :class:`~repro.core.machine.DSMMachine`,
+  hooking the network send/delivery paths and the process scheduler.
+* :mod:`repro.faults.chaos` — the seeded chaos harness behind the
+  ``repro chaos`` CLI: workloads under fault schedules with
+  mutual-exclusion and RMW-chain invariants checked throughout.
+
+See ``docs/FAULTS.md`` for the fault model and recovery parameters.
+"""
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    crash,
+    delay,
+    duplicate,
+    heal,
+    partition,
+    restart,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "crash",
+    "delay",
+    "duplicate",
+    "heal",
+    "partition",
+    "restart",
+]

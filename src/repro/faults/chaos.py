@@ -1,0 +1,399 @@
+"""The chaos soak harness behind ``repro chaos``.
+
+Runs a workload (shared counter or the Figure 2 task queue) under a
+seeded fault schedule, with the full recovery stack armed:
+
+* holder leases + tolerant lock managers at the group root,
+* client lock timeouts with exponential backoff and a retry budget,
+* reliable multicast (NACK + heartbeat) so dropped/duplicated applies
+  are recovered,
+* a progress watchdog converting any residual hang into a diagnosable
+  :class:`~repro.errors.StallError`.
+
+After the run, the mutual-exclusion and RMW serializability invariants
+are verified and the recovery observations (reclaim latency, retry
+counts, per-cause drop counters) are packaged into a
+:class:`ChaosResult`.  Everything is deterministic per
+``(plan, seed)`` — :meth:`ChaosResult.fingerprint` is stable across
+runs, which the determinism tests (and reproducible bug reports) rely
+on.
+
+Scenario compatibility: crash, partition, and duplicate scenarios need
+the recovery machinery of the GWC family (leases, retries, reliable
+multicast); the release/sequential/entry lock protocols have neither
+timeouts nor duplicate tolerance, so only FIFO-preserving ``delay``
+schedules are safe there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.consistency.base import make_system
+from repro.consistency.checker import MutualExclusionChecker
+from repro.core.machine import DSMMachine
+from repro.core.node import NodeHandle
+from repro.core.section import Section
+from repro.errors import FaultError, StallError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    crash,
+    delay,
+    duplicate,
+    partition,
+    restart,
+)
+from repro.locks.gwc_lock import LockRetryPolicy
+from repro.params import PAPER_PARAMS, MachineParams
+from repro.sim.watchdog import Watchdog
+from repro.workloads import counter as counter_wl
+from repro.workloads import task_queue as tq_wl
+
+#: Systems with the full recovery stack (leases, retries, reliability).
+GWC_FAMILY = ("gwc", "gwc_optimistic")
+
+#: Scenario names.
+SCENARIOS = ("crash_holder", "churn", "partition", "delay", "duplicate")
+
+#: Scenarios that require GWC-family recovery support.
+_RECOVERY_SCENARIOS = ("crash_holder", "churn", "partition", "duplicate")
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """One chaos run: workload x system x scenario x seed."""
+
+    system: str = "gwc"
+    workload: str = "counter"  # "counter" or "task_queue"
+    scenario: str = "crash_holder"
+    n_nodes: int = 6
+    ops_per_node: int = 8
+    seed: int = 0
+    #: Explicit schedule; None derives one from the scenario.
+    plan: FaultPlan | None = None
+    #: Master switch for the recovery stack (leases, retries).  With it
+    #: off, a crash scenario must end in the watchdog's StallError
+    #: rather than a silent hang.
+    recovery: bool = True
+    #: Re-raise StallError instead of recording it in the result.
+    raise_on_stall: bool = False
+    params: MachineParams = PAPER_PARAMS
+    #: Overrides; None derives each from the machine's recovery unit
+    #: (the NACK timeout, one safely padded diameter crossing).
+    lease_duration: float | None = None
+    lock_timeout: float | None = None
+    max_retries: int = 12
+    watchdog_interval: float | None = None
+    max_sim_time: float | None = None
+    loss_rate: float = 0.0
+    system_kwargs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class ChaosResult:
+    """Observations from one chaos run."""
+
+    config: ChaosConfig
+    ok: bool
+    elapsed: float
+    final_counter: int
+    chain_length: int
+    converged: bool
+    lock_requests: int
+    lock_timeouts: int
+    lock_retries: int
+    fault_summary: dict[str, Any]
+    #: Seconds from each holder crash to the lease reclaim.
+    recovery_times: tuple[float, ...]
+    messages: int
+    dropped: int
+    stall: str | None = None
+    invariant_errors: list[str] = field(default_factory=list)
+
+    def fingerprint(self) -> tuple:
+        """Deterministic signature for same-seed reproducibility checks."""
+        return (
+            self.elapsed,
+            self.final_counter,
+            self.chain_length,
+            self.lock_requests,
+            self.lock_timeouts,
+            self.lock_retries,
+            self.messages,
+            self.dropped,
+            tuple(sorted(self.fault_summary.items())),
+        )
+
+
+def _chaos_counter_worker(
+    node: NodeHandle,
+    system: Any,
+    section: Section,
+    ops: int,
+    think_time: float,
+) -> "Generator":  # noqa: F821
+    """Counter worker with restart-resumable progress in ``node.locals``.
+
+    ``_done`` advances in the same simulator event as the section's
+    commit, so a crash never lands between an increment and its
+    bookkeeping — a restarted node redoes exactly its unfinished ops.
+    """
+    while node.locals["_done"] < ops:
+        yield from node.busy(think_time, kind="useful")
+        yield from system.run_section(node, section)
+        node.locals["_done"] += 1
+
+
+def _default_plan(config: ChaosConfig, unit: float, lock: str) -> FaultPlan:
+    """Derive a schedule for the named scenario, scaled by ``unit``."""
+    scenario = config.scenario
+    n = config.n_nodes
+    if scenario == "crash_holder":
+        # The injector retries until the lock actually has a holder, so
+        # an early nominal time reliably hits mid-critical-section.
+        return FaultPlan([crash(10 * unit, holder_of=lock)], seed=config.seed)
+    if scenario == "churn":
+        victim = n - 1
+        return FaultPlan(
+            [
+                crash(10 * unit, node=victim),
+                restart(40 * unit, node=victim),
+            ],
+            seed=config.seed,
+        )
+    if scenario == "partition":
+        island = tuple(range(max(1, n - 2), n))
+        return FaultPlan(
+            [partition(10 * unit, nodes=island, until=50 * unit)],
+            seed=config.seed,
+        )
+    if scenario == "delay":
+        return FaultPlan(
+            [
+                delay(
+                    5 * unit,
+                    extra=4 * unit,
+                    until=400 * unit,
+                    jitter=0.5,
+                    probability=0.5,
+                )
+            ],
+            seed=config.seed,
+        )
+    if scenario == "duplicate":
+        return FaultPlan(
+            [duplicate(5 * unit, until=400 * unit, probability=0.5)],
+            seed=config.seed,
+        )
+    raise FaultError(f"unknown chaos scenario {scenario!r}; known: {SCENARIOS}")
+
+
+def run_chaos(config: ChaosConfig) -> ChaosResult:
+    """Run one seeded chaos schedule and verify the invariants."""
+    gwc_family = config.system in GWC_FAMILY
+    if config.scenario not in SCENARIOS:
+        raise FaultError(
+            f"unknown chaos scenario {config.scenario!r}; known: {SCENARIOS}"
+        )
+    if config.scenario in _RECOVERY_SCENARIOS and not gwc_family:
+        raise FaultError(
+            f"scenario {config.scenario!r} needs the GWC-family recovery "
+            f"stack; system {config.system!r} only supports 'delay'"
+        )
+    if config.workload not in ("counter", "task_queue"):
+        raise FaultError(f"unknown chaos workload {config.workload!r}")
+    if config.workload == "task_queue" and config.scenario in (
+        "crash_holder",
+        "churn",
+    ):
+        # A crashed consumer takes its claimed-but-unfinished task with
+        # it, so the producer's completion condition can never be met;
+        # crash scenarios run on the counter workload.
+        raise FaultError(
+            "crash scenarios are only meaningful on the counter workload "
+            "(a crashed consumer permanently loses its claimed task)"
+        )
+
+    checker = MutualExclusionChecker()
+    machine = DSMMachine(
+        n_nodes=config.n_nodes,
+        params=config.params,
+        seed=config.seed,
+        checker=checker,
+        loss_rate=config.loss_rate,
+        reliable=True,
+    )
+    unit = machine.nack_timeout
+
+    if config.workload == "counter":
+        group, lock, var = counter_wl.GROUP, counter_wl.LOCK, counter_wl.COUNTER
+        machine.create_group(group)
+        machine.declare_variable(group, var, 0, mutex_lock=lock)
+        machine.declare_lock(group, lock, protects=(var,), data_bytes=8)
+    else:
+        group, lock = tq_wl.GROUP, tq_wl.LOCK
+        machine.create_group(group, root=0)
+        machine.declare_variable(group, tq_wl.PRODUCED, 0)
+        machine.declare_variable(group, tq_wl.TAKEN, 0, mutex_lock=lock)
+        machine.declare_variable(group, tq_wl.COMPLETED, 0, mutex_lock=lock)
+        machine.declare_lock(
+            group, lock, protects=(tq_wl.TAKEN, tq_wl.COMPLETED), data_bytes=768
+        )
+
+    plan = config.plan if config.plan is not None else _default_plan(
+        config, unit, lock
+    )
+    injector = FaultInjector(machine, plan)
+
+    retry = None
+    if config.recovery and gwc_family:
+        lease = (
+            config.lease_duration
+            if config.lease_duration is not None
+            else 10.0 * unit
+        )
+        timeout = (
+            config.lock_timeout if config.lock_timeout is not None else 40.0 * unit
+        )
+        retry = LockRetryPolicy(timeout=timeout, max_retries=config.max_retries)
+        machine.root_engine(group).configure_lock_recovery(
+            lease_duration=lease, is_crashed=injector.is_crashed
+        )
+    injector.install()
+
+    system_kwargs = dict(config.system_kwargs)
+    if gwc_family:
+        system_kwargs["lock_retry"] = retry
+    system = make_system(config.system, machine, **system_kwargs)
+
+    total_ops = config.ops_per_node
+    if config.workload == "counter":
+        section = Section(
+            lock=lock,
+            body=counter_wl._increment_body,
+            shared_reads=(var,),
+            shared_writes=(var,),
+            label="chaos-increment",
+        )
+        think_time = 10e-6
+        for node in machine.nodes:
+            node.locals["_update_time"] = 1e-6
+            node.locals["_done"] = 0
+            process = machine.spawn(
+                _chaos_counter_worker(node, system, section, total_ops, think_time),
+                name=f"chaos-counter-{node.id}",
+            )
+            injector.track_process(node.id, process)
+
+            def respawn(node: NodeHandle = node) -> None:
+                proc = machine.spawn(
+                    _chaos_counter_worker(
+                        node, system, section, total_ops, think_time
+                    ),
+                    name=f"chaos-counter-{node.id}-respawn",
+                )
+                injector.track_process(node.id, proc)
+
+            injector.register_respawn(node.id, respawn)
+    else:
+        tq_config = tq_wl.TaskQueueConfig(
+            system=config.system,
+            n_nodes=config.n_nodes,
+            total_tasks=config.ops_per_node * (config.n_nodes - 1),
+            seed=config.seed,
+        )
+        producer = machine.nodes[0]
+        process = machine.spawn(
+            tq_wl._producer(producer, system, tq_config), name="chaos-producer"
+        )
+        injector.track_process(0, process)
+        for node in machine.nodes[1:]:
+            process = machine.spawn(
+                tq_wl._consumer(node, system, tq_config),
+                name=f"chaos-consumer-{node.id}",
+            )
+            injector.track_process(node.id, process)
+
+    interval = (
+        config.watchdog_interval
+        if config.watchdog_interval is not None
+        else 200.0 * unit
+    )
+    budget = config.max_sim_time if config.max_sim_time is not None else 0.05
+    watchdog = Watchdog(
+        machine.sim, interval=interval, max_sim_time=budget, patience=3
+    )
+    watchdog.arm()
+
+    stall: str | None = None
+    try:
+        machine.run()
+    except StallError as exc:
+        if config.raise_on_stall:
+            raise
+        stall = str(exc)
+    watchdog.disarm()
+
+    invariant_errors: list[str] = []
+    final_counter = 0
+    chain_length = 0
+    converged = False
+    if config.workload == "counter":
+        chain_length = len(checker.chains.get(counter_wl.COUNTER, ()))
+        live = [n for n in machine.nodes if n.id not in injector.crashed]
+        values = [n.store.read(counter_wl.COUNTER) for n in live]
+        final_counter = max(values) if values else 0
+        converged = bool(values) and all(v == values[0] for v in values)
+        try:
+            checker.verify_chain(counter_wl.COUNTER, 0)
+        except Exception as exc:  # ConsistencyError — keep the report going
+            invariant_errors.append(str(exc))
+        if stall is None:
+            if final_counter != chain_length:
+                invariant_errors.append(
+                    f"final counter {final_counter} != RMW chain length "
+                    f"{chain_length} (lost or phantom update)"
+                )
+            if not converged and config.system != "entry":
+                # Entry consistency ships data with lock grants, so only
+                # the last holder is expected to have the final value.
+                invariant_errors.append(
+                    f"live nodes did not converge: {values}"
+                )
+    else:
+        chain_length = len(checker.spans)
+        completed = machine.nodes[0].store.read(tq_wl.COMPLETED)
+        final_counter = completed
+        total = config.ops_per_node * (config.n_nodes - 1)
+        converged = completed == total
+        if stall is None and completed != total:
+            invariant_errors.append(
+                f"completed {completed} of {total} tasks"
+            )
+    if stall is None:
+        try:
+            checker.verify_no_occupancy()
+        except Exception as exc:
+            invariant_errors.append(str(exc))
+
+    metrics = machine.metrics
+    stats = machine.network.stats
+    return ChaosResult(
+        config=config,
+        ok=stall is None and not invariant_errors,
+        elapsed=machine.sim.now,
+        final_counter=final_counter,
+        chain_length=chain_length,
+        converged=converged,
+        lock_requests=metrics.total_counter("lock.requests"),
+        lock_timeouts=metrics.total_counter("lock.timeouts"),
+        lock_retries=metrics.total_counter("lock.retries"),
+        fault_summary=injector.summary(),
+        recovery_times=tuple(injector.recovery_times),
+        messages=stats.messages,
+        dropped=stats.dropped,
+        stall=stall,
+        invariant_errors=invariant_errors,
+    )

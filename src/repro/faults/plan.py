@@ -1,0 +1,236 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is an immutable, time-sorted list of
+:class:`FaultEvent` records plus a seed for the injector's random
+decisions (probabilistic delays/duplicates and backoff jitter feed from
+seeded streams).  The same plan and seed always produce the same fault
+sequence — chaos runs are reproducible bug reports, not flaky ones.
+
+Build plans with the factory helpers::
+
+    plan = FaultPlan(
+        [
+            crash(50e-6, holder_of="counter_lock"),
+            restart(120e-6, node=2),       # only if the crash named node 2
+            partition(40e-6, nodes=(3, 4), until=90e-6),
+            delay(10e-6, extra=5e-6, until=200e-6, kinds=("gwc.apply",)),
+            duplicate(10e-6, until=200e-6, probability=0.25),
+        ],
+        seed=7,
+    )
+
+Validation is two-stage: each event's shape is checked at construction,
+and :meth:`FaultPlan.validate` checks node ids against a machine size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+
+#: Event kinds.
+CRASH = "crash"
+RESTART = "restart"
+PARTITION = "partition"
+HEAL = "heal"
+DELAY = "delay"
+DUPLICATE = "duplicate"
+
+_KINDS = (CRASH, RESTART, PARTITION, HEAL, DELAY, DUPLICATE)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled fault.  Use the module factory helpers to build."""
+
+    time: float
+    kind: str
+    #: crash/restart: the target node.  A crash may instead name a lock
+    #: via ``holder_of`` to hit whichever node holds it at fire time.
+    node: int | None = None
+    holder_of: str | None = None
+    #: partition/heal: one side of the cut (messages crossing the
+    #: boundary are dropped in both directions).
+    nodes: tuple[int, ...] = ()
+    #: delay/duplicate: restrict to these message kinds (empty = all).
+    message_kinds: tuple[str, ...] = ()
+    #: partition/delay/duplicate: automatic end time.
+    until: float | None = None
+    #: delay: extra delivery latency in seconds, stretched by up to
+    #: ``jitter`` fraction (seeded).
+    extra_delay: float = 0.0
+    jitter: float = 0.0
+    #: delay/duplicate: per-message apply probability.
+    probability: float = 1.0
+    #: delay: False lets a delayed message overtake later traffic on the
+    #: same channel (a reorder fault); True keeps channels FIFO.
+    preserve_fifo: bool = True
+    #: duplicate: total delivered copies of an affected message.
+    copies: int = 2
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultError(f"fault time must be >= 0: {self.time}")
+        if self.kind not in _KINDS:
+            raise FaultError(f"unknown fault kind {self.kind!r}; known: {_KINDS}")
+        if self.until is not None and self.until <= self.time:
+            raise FaultError(
+                f"{self.kind} fault: until={self.until} must be after "
+                f"time={self.time}"
+            )
+        if not 0.0 < self.probability <= 1.0:
+            raise FaultError(
+                f"{self.kind} fault: probability must be in (0, 1]: "
+                f"{self.probability}"
+            )
+        if self.kind == CRASH:
+            if (self.node is None) == (self.holder_of is None):
+                raise FaultError(
+                    "crash fault needs exactly one of node= or holder_of="
+                )
+        elif self.kind == RESTART:
+            if self.node is None:
+                raise FaultError("restart fault needs node=")
+        elif self.kind in (PARTITION, HEAL):
+            if not self.nodes:
+                raise FaultError(f"{self.kind} fault needs a non-empty nodes=")
+            if len(set(self.nodes)) != len(self.nodes):
+                raise FaultError(f"{self.kind} fault: duplicate nodes {self.nodes}")
+        elif self.kind == DELAY:
+            if self.extra_delay <= 0.0:
+                raise FaultError(
+                    f"delay fault: extra_delay must be > 0: {self.extra_delay}"
+                )
+            if self.jitter < 0.0:
+                raise FaultError(f"delay fault: jitter must be >= 0: {self.jitter}")
+        elif self.kind == DUPLICATE:
+            if self.copies < 2:
+                raise FaultError(
+                    f"duplicate fault: copies must be >= 2: {self.copies}"
+                )
+
+
+@dataclass(frozen=True, init=False)
+class FaultPlan:
+    """A seeded, time-ordered fault schedule."""
+
+    events: tuple[FaultEvent, ...]
+    seed: int
+
+    def __init__(self, events: "Iterable[FaultEvent]" = (), seed: int = 0) -> None:  # noqa: F821
+        ordered = tuple(sorted(events, key=lambda e: e.time))
+        object.__setattr__(self, "events", ordered)
+        object.__setattr__(self, "seed", int(seed))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def validate(self, n_nodes: int) -> None:
+        """Check every event against a machine of ``n_nodes`` nodes."""
+        all_nodes = set(range(n_nodes))
+        for event in self.events:
+            if event.node is not None and event.node not in all_nodes:
+                raise FaultError(
+                    f"{event.kind} fault targets node {event.node}, but the "
+                    f"machine has nodes 0..{n_nodes - 1}"
+                )
+            if event.nodes:
+                bad = set(event.nodes) - all_nodes
+                if bad:
+                    raise FaultError(
+                        f"{event.kind} fault names unknown node(s) {sorted(bad)}"
+                    )
+                if set(event.nodes) >= all_nodes:
+                    raise FaultError(
+                        f"{event.kind} fault isolates every node; one side "
+                        "of a partition must be a proper subset"
+                    )
+
+
+# ----------------------------------------------------------------------
+# Factory helpers
+# ----------------------------------------------------------------------
+
+
+def crash(
+    time: float, node: int | None = None, holder_of: str | None = None
+) -> FaultEvent:
+    """Crash a node: kill its processes, drop its traffic both ways.
+
+    Name a fixed ``node``, or ``holder_of=<lock>`` to crash whichever
+    node holds that lock when the fault fires (retrying briefly if the
+    lock is momentarily free) — the canonical mid-critical-section kill.
+    """
+    return FaultEvent(time=time, kind=CRASH, node=node, holder_of=holder_of)
+
+
+def restart(time: float, node: int) -> FaultEvent:
+    """Restart a crashed node: re-inshare group state, resume traffic."""
+    return FaultEvent(time=time, kind=RESTART, node=node)
+
+
+def partition(
+    time: float, nodes: "Iterable[int]", until: float | None = None  # noqa: F821
+) -> FaultEvent:
+    """Cut the links between ``nodes`` and everyone else (both ways)."""
+    return FaultEvent(time=time, kind=PARTITION, nodes=tuple(nodes), until=until)
+
+
+def heal(time: float, nodes: "Iterable[int]") -> FaultEvent:  # noqa: F821
+    """Heal a partition previously cut with the same ``nodes`` set."""
+    return FaultEvent(time=time, kind=HEAL, nodes=tuple(nodes))
+
+
+def delay(
+    time: float,
+    extra: float,
+    until: float | None = None,
+    kinds: "Iterable[str]" = (),  # noqa: F821
+    nodes: "Iterable[int]" = (),  # noqa: F821
+    jitter: float = 0.0,
+    probability: float = 1.0,
+    preserve_fifo: bool = True,
+) -> FaultEvent:
+    """Add ``extra`` seconds of latency to matching messages.
+
+    ``nodes`` restricts the fault to messages touching those nodes as
+    source or destination; ``preserve_fifo=False`` turns the delay into
+    a reorder fault (only safe for protocols that tolerate reordering,
+    i.e. GWC with reliability enabled).
+    """
+    return FaultEvent(
+        time=time,
+        kind=DELAY,
+        until=until,
+        extra_delay=extra,
+        message_kinds=tuple(kinds),
+        nodes=tuple(nodes),
+        jitter=jitter,
+        probability=probability,
+        preserve_fifo=preserve_fifo,
+    )
+
+
+def duplicate(
+    time: float,
+    until: float | None = None,
+    kinds: "Iterable[str]" = ("gwc.apply",),  # noqa: F821
+    probability: float = 1.0,
+    copies: int = 2,
+) -> FaultEvent:
+    """Deliver matching messages ``copies`` times.
+
+    Defaults to ``gwc.apply`` packets only: the sequenced apply stream
+    is duplicate-tolerant once reliability is enabled, while duplicating
+    request/release traffic of the non-GWC lock protocols would forge
+    protocol actions no real network stack produces.
+    """
+    return FaultEvent(
+        time=time,
+        kind=DUPLICATE,
+        until=until,
+        message_kinds=tuple(kinds),
+        probability=probability,
+        copies=copies,
+    )

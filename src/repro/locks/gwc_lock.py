@@ -1,4 +1,4 @@
-"""The queue-based GWC lock of Section 2.
+"""The queue-based GWC lock of Section 2, plus crash recovery.
 
 Root side — :class:`GwcLockManager`: "The root checks if the lock is
 free.  If not free, the processor ID number is queued.  If free, the root
@@ -18,13 +18,32 @@ Client side — :class:`GwcLockClient`: the regular (non-optimistic)
 request path: atomically exchange the local lock copy with the negated
 processor id (which also forwards the request to the root) and wait until
 the local copy shows this node's positive id.
+
+Recovery extensions (off by default; the strict paper protocol is the
+default behaviour):
+
+* **Leases** (:meth:`GwcLockManager.enable_lease`) let the root reclaim
+  a lock whose holder crashed mid-critical-section and grant it onward,
+  so one dead node does not wedge every waiter.
+* **Recovery mode** (:meth:`GwcLockManager.enable_recovery`) relaxes the
+  strict state machine for the messages crash recovery makes legal:
+  duplicate requests (a timed-out client retrying) are idempotent, and a
+  release from a non-holder either cancels that node's queued request or
+  is dropped as stale.
+* **Timed acquisition** (:class:`LockRetryPolicy` on the client) bounds
+  each request with a timeout, retries with seeded exponential backoff
+  plus jitter, and raises :class:`~repro.errors.LockTimeoutError` when
+  the budget is exhausted.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from dataclasses import dataclass
+from functools import partial
+from random import Random
+from typing import Any, Callable, Generator
 
-from repro.errors import LockStateError
+from repro.errors import FaultError, LockStateError, LockTimeoutError
 from repro.memory.varspace import (
     FREE_VALUE,
     LockDecl,
@@ -33,12 +52,59 @@ from repro.memory.varspace import (
     request_value,
     requester_of,
 )
+from repro.sim.waiters import Future
+
+
+@dataclass(frozen=True)
+class LockRetryPolicy:
+    """Timeout/backoff parameters for timed lock acquisition.
+
+    Attributes:
+        timeout: Seconds one request attempt may wait for its grant.
+        max_retries: Retries after the first attempt; the client makes
+            ``max_retries + 1`` attempts before raising
+            :class:`~repro.errors.LockTimeoutError`.
+        backoff_base: First backoff delay; defaults to ``timeout / 2``.
+        backoff_factor: Multiplier applied per retry (exponential).
+        max_backoff: Backoff cap; defaults to ``timeout * 8``.
+        jitter: Fraction of uniform random extension added to each
+            backoff (``0.5`` means delays stretch up to 1.5x), drawn
+            from the per-node seeded stream so runs stay deterministic.
+    """
+
+    timeout: float
+    max_retries: int = 8
+    backoff_base: float | None = None
+    backoff_factor: float = 2.0
+    max_backoff: float | None = None
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise FaultError(f"lock retry timeout must be > 0: {self.timeout}")
+        if self.max_retries < 0:
+            raise FaultError(
+                f"lock retry budget must be >= 0: {self.max_retries}"
+            )
+        if self.backoff_factor < 1.0:
+            raise FaultError(
+                f"backoff factor must be >= 1: {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter:
+            raise FaultError(f"jitter must be >= 0: {self.jitter}")
+
+    def backoff_delay(self, attempt: int, rng: Random) -> float:
+        """Backoff before retry ``attempt`` (0-based), with jitter."""
+        base = self.backoff_base if self.backoff_base is not None else self.timeout * 0.5
+        cap = self.max_backoff if self.max_backoff is not None else self.timeout * 8.0
+        delay = min(base * self.backoff_factor**attempt, cap)
+        return delay * (1.0 + self.jitter * rng.random())
 
 
 class GwcLockManager:
     """Root-side lock state machine for one lock variable."""
 
-    def __init__(self, decl: LockDecl) -> None:
+    def __init__(self, decl: LockDecl, recovery: bool = False) -> None:
         self.decl = decl
         self.holder: int | None = None
         self.queue: list[int] = []
@@ -46,6 +112,26 @@ class GwcLockManager:
         self.grants = 0
         self.releases = 0
         self.max_queue = 0
+        #: Recovery mode: tolerate the duplicate/stale messages that
+        #: timeouts and crash recovery make legal (see module docstring).
+        self.recovery = recovery
+        self.regrants = 0
+        self.cancelled_requests = 0
+        self.stale_releases = 0
+        #: Lease machinery (see :meth:`enable_lease`).
+        self.lease_reclaims = 0
+        self.lease_extensions = 0
+        #: ``on_reclaim(lock_name, old_holder, new_holder, now)`` hook,
+        #: used by the fault injector to measure recovery time.
+        self.on_reclaim: Callable[[str, int, int | None, float], None] | None = None
+        self._sim: "Simulator | None" = None  # noqa: F821
+        self._emit: Callable[[list[Any]], None] | None = None
+        self._lease_duration: float | None = None
+        self._is_crashed: Callable[[int], bool] | None = None
+        self._lease_event: "Event | None" = None  # noqa: F821
+        #: Bumped on every grant and release; a pending lease check whose
+        #: epoch is stale belongs to a previous occupancy and is ignored.
+        self._grant_epoch = 0
 
     @property
     def name(self) -> str:
@@ -54,6 +140,43 @@ class GwcLockManager:
     def holds(self, node: int) -> bool:
         """Does ``node`` currently hold the lock (root's authoritative view)?"""
         return self.holder == node
+
+    def enable_recovery(self) -> None:
+        """Switch on tolerant handling of retry/crash-era messages."""
+        self.recovery = True
+
+    def enable_lease(
+        self,
+        sim: "Simulator",  # noqa: F821
+        emit: Callable[[list[Any]], None],
+        duration: float,
+        is_crashed: Callable[[int], bool] | None = None,
+    ) -> None:
+        """Arm holder leases so a dead holder's lock is reclaimed.
+
+        Args:
+            sim: The simulator to schedule lease expiry checks on.
+            emit: Callable that sequences-and-multicasts a list of lock
+                values exactly like a client write would (the group root
+                engine supplies this so reclaim grants get group-global
+                sequence numbers).
+            duration: Lease length in simulated seconds.  Size it well
+                above the longest legitimate critical section plus one
+                round trip, or healthy holders will be reclaimed.
+            is_crashed: Optional liveness oracle.  When provided, a
+                lease expiring under a *live* holder is extended rather
+                than reclaimed, making reclaim precise instead of purely
+                time-based.
+        """
+        if duration <= 0:
+            raise FaultError(f"lease duration must be > 0: {duration}")
+        self.recovery = True
+        self._sim = sim
+        self._emit = emit
+        self._lease_duration = duration
+        self._is_crashed = is_crashed
+        if self.holder is not None:
+            self._arm_lease()
 
     def on_write(self, origin: int, value: Any) -> list[int]:
         """Process a lock-variable write arriving at the root.
@@ -81,10 +204,17 @@ class GwcLockManager:
                 f"for node {requester}"
             )
         if self.holder is None:
-            self.holder = requester
-            self.grants += 1
+            self._grant_to(requester)
             return [grant_value(requester)]
         if requester == self.holder or requester in self.queue:
+            if self.recovery:
+                # A timed-out client retrying: if it already holds the
+                # lock the grant was lost in flight — re-emit it; if it
+                # is already queued the duplicate is a no-op.
+                if requester == self.holder:
+                    self.regrants += 1
+                    return [grant_value(requester)]
+                return []
             raise LockStateError(
                 f"lock {self.name!r}: node {requester} requested twice"
             )
@@ -94,28 +224,90 @@ class GwcLockManager:
 
     def _on_release(self, origin: int) -> list[int]:
         if self.holder != origin:
+            if self.recovery:
+                if origin in self.queue:
+                    # A timed-out requester cancelling its queued request.
+                    self.queue.remove(origin)
+                    self.cancelled_requests += 1
+                else:
+                    # A release from a reclaimed (or never-granted)
+                    # occupancy arriving late: drop it.
+                    self.stale_releases += 1
+                return []
             raise LockStateError(
                 f"lock {self.name!r}: node {origin} released but holder "
                 f"is {self.holder}"
             )
         self.releases += 1
+        self._grant_epoch += 1
         if self.queue:
-            self.holder = self.queue.pop(0)
-            self.grants += 1
+            self._grant_to(self.queue.pop(0))
             return [grant_value(self.holder)]
         self.holder = None
+        self._cancel_lease()
         return [FREE_VALUE]
+
+    # ------------------------------------------------------------------
+    # Lease internals
+    # ------------------------------------------------------------------
+
+    def _grant_to(self, node: int) -> None:
+        self.holder = node
+        self.grants += 1
+        self._grant_epoch += 1
+        if self._lease_duration is not None:
+            self._arm_lease()
+
+    def _cancel_lease(self) -> None:
+        if self._lease_event is not None:
+            self._lease_event.cancel()
+            self._lease_event = None
+
+    def _arm_lease(self) -> None:
+        self._cancel_lease()
+        self._lease_event = self._sim.schedule(
+            self._lease_duration,
+            partial(self._lease_check, self._grant_epoch),
+        )
+
+    def _lease_check(self, epoch: int) -> None:
+        if epoch != self._grant_epoch or self.holder is None:
+            return  # Occupancy already changed; this check is stale.
+        if self._is_crashed is not None and not self._is_crashed(self.holder):
+            # Liveness oracle says the holder is alive: a long critical
+            # section, not a crash.  Extend rather than reclaim.
+            self.lease_extensions += 1
+            self._arm_lease()
+            return
+        old_holder = self.holder
+        self.lease_reclaims += 1
+        self._grant_epoch += 1
+        if self.queue:
+            self._grant_to(self.queue.pop(0))
+            values: list[int] = [grant_value(self.holder)]
+        else:
+            self.holder = None
+            self._cancel_lease()
+            values = [FREE_VALUE]
+        if self.on_reclaim is not None:
+            self.on_reclaim(self.name, old_holder, self.holder, self._sim.now)
+        self._emit(values)
 
 
 class GwcLockClient:
     """Regular (blocking, non-optimistic) GWC lock operations for one node.
 
-    Stateless aside from the declaration: all state lives in the node's
-    local store (the lock variable copy) and at the root (the manager).
+    Stateless aside from the declaration and retry policy: all protocol
+    state lives in the node's local store (the lock variable copy) and at
+    the root (the manager).  With ``retry=None`` (the default) acquire
+    blocks forever, exactly the paper's protocol; with a
+    :class:`LockRetryPolicy` each attempt is bounded and exhausting the
+    budget raises :class:`~repro.errors.LockTimeoutError`.
     """
 
-    def __init__(self, decl: LockDecl) -> None:
+    def __init__(self, decl: LockDecl, retry: LockRetryPolicy | None = None) -> None:
         self.decl = decl
+        self.retry = retry
 
     def acquire(self, node: "NodeHandle") -> Generator[Any, Any, None]:  # noqa: F821
         """Request the lock and wait for the local copy to show our grant."""
@@ -130,8 +322,49 @@ class GwcLockClient:
             )
         node.iface.atomic_exchange(name, request_value(node.id))
         node.metrics.count("lock.requests")
-        yield from node.store.wait_until(name, lambda v: v == mine)
+        yield from self.await_grant(node)
         node.metrics.count("lock.acquired")
+
+    def await_grant(self, node: "NodeHandle") -> Generator[Any, Any, None]:  # noqa: F821
+        """Wait out an already-issued request (the caller sent it).
+
+        With no retry policy this blocks forever like the paper's
+        protocol.  With one, each attempt is bounded: on timeout the
+        request is withdrawn (a FREE write, which in recovery mode
+        dequeues us at the root — or releases the lock if the grant
+        raced the timeout), we back off with seeded jitter, re-issue,
+        and eventually raise :class:`~repro.errors.LockTimeoutError`.
+        The optimistic runner reuses this for its regular-path waits so
+        speculation keeps crash/partition tolerance.
+        """
+        name = self.decl.name
+        mine = grant_value(node.id)
+        policy = self.retry
+        if policy is None:
+            yield from node.store.wait_until(name, lambda v: v == mine)
+            return
+        rng = node.sim.rng.stream(f"lock.backoff.{node.id}")
+        for attempt in range(policy.max_retries + 1):
+            if attempt > 0:
+                node.iface.atomic_exchange(name, request_value(node.id))
+                node.metrics.count("lock.requests")
+            granted = yield from self._wait_for_grant(
+                node, name, mine, policy.timeout
+            )
+            if granted:
+                return
+            node.metrics.count("lock.timeouts")
+            # Withdraw the request so the next attempt starts from a
+            # clean slate (see docstring).
+            node.iface.share_write(name, FREE_VALUE)
+            if attempt < policy.max_retries:
+                node.metrics.count("lock.retries")
+                yield policy.backoff_delay(attempt, rng)
+        raise LockTimeoutError(
+            f"node {node.id}: lock {name!r} not granted after "
+            f"{policy.max_retries + 1} attempt(s) of {policy.timeout:.9g}s "
+            f"(t={node.sim.now:.9g})"
+        )
 
     def release(self, node: "NodeHandle") -> Generator[Any, Any, None]:  # noqa: F821
         """Free the lock locally; the root forwards it to the next waiter."""
@@ -144,3 +377,45 @@ class GwcLockClient:
         node.metrics.count("lock.released")
         return
         yield  # pragma: no cover - marks this function as a generator
+
+    def _wait_for_grant(
+        self,
+        node: "NodeHandle",  # noqa: F821
+        name: str,
+        mine: int,
+        timeout: float,
+    ) -> Generator[Any, Any, bool]:
+        """Wait until the local copy shows our grant, or the timeout.
+
+        Returns True on grant, False on timeout.  Unlike
+        :meth:`LocalStore.wait_until` this must stop waiting at the
+        deadline, so it races a one-shot future between the variable's
+        change signal (re-registered each fire, checking the store's
+        latest committed value) and a cancellable timer event.
+        """
+        store = node.store
+        if store.read(name) == mine:
+            return True
+        signal = store.signal_for(name)
+        outcome = Future(name=f"n{node.id}.{name}.grant")
+
+        def on_change(_payload: Any) -> None:
+            if outcome.resolved:
+                return
+            if store.read(name) == mine:
+                outcome.resolve(True)
+            else:
+                signal.add_callback(on_change)
+
+        def on_timeout() -> None:
+            if not outcome.resolved:
+                outcome.resolve(False)
+
+        signal.add_callback(on_change)
+        timer = node.sim.schedule(timeout, on_timeout)
+        granted = yield outcome
+        if granted:
+            timer.cancel()
+        else:
+            signal.remove_callback(on_change)
+        return granted

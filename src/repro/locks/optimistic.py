@@ -271,7 +271,16 @@ class OptimisticMutexRunner:
     def _wait_for_grant(
         self, node: NodeHandle, lock: str, mine: int
     ) -> Generator[Any, Any, Any]:
-        """Block until the grant — spinning or context-swapping."""
+        """Block until the grant — spinning or context-swapping.
+
+        When the system carries a lock retry policy, the wait instead
+        goes through the timed client path (timeout, withdraw, backoff,
+        re-request) so the regular path inherits crash and partition
+        tolerance; the spin/swap cost model applies only to the
+        block-forever protocol.
+        """
+        if self.system.lock_retry is not None:
+            return (yield from self.system._client(lock).await_grant(node))
         if self.config.wait_mode == WAIT_SWAP:
             return (
                 yield from node.wait_until_with_swap(

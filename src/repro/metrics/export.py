@@ -68,3 +68,41 @@ def write_csv(path: str | pathlib.Path, rows: Iterable[Any]) -> pathlib.Path:
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(to_csv(rows))
     return target
+
+
+def channel_stats_summary(stats: "ChannelStats") -> dict[str, int]:  # noqa: F821
+    """Whole-network traffic and fault counters as one flat mapping.
+
+    Includes the loss-model vs fault-injector drop split so chaos runs
+    can report both causes separately (``dropped`` is their sum plus any
+    legacy accounting).
+    """
+    return {
+        "messages": stats.messages,
+        "bytes": stats.bytes,
+        "dropped": stats.dropped,
+        "loss_dropped": stats.loss_dropped,
+        "fault_dropped": stats.fault_dropped,
+        "fault_delayed": stats.fault_delayed,
+        "fault_duplicated": stats.fault_duplicated,
+    }
+
+
+def channel_stats_rows(stats: "ChannelStats") -> list[dict[str, int]]:  # noqa: F821
+    """Per-node traffic rows (ready for :func:`to_csv` / :func:`write_csv`).
+
+    One row per node that ever sent or received, with its inbound,
+    outbound, and dropped-inbound message counts.
+    """
+    nodes = sorted(
+        set(stats.inbound) | set(stats.outbound) | set(stats.dropped_inbound)
+    )
+    return [
+        {
+            "node": node,
+            "inbound": stats.inbound.get(node, 0),
+            "outbound": stats.outbound.get(node, 0),
+            "dropped_inbound": stats.dropped_inbound.get(node, 0),
+        }
+        for node in nodes
+    ]

@@ -41,15 +41,29 @@ class ChannelStats:
 
     messages: int = 0
     bytes: int = 0
-    #: Messages removed by the loss model before delivery.  Dropped
-    #: messages still count as sent traffic (``messages`` / ``bytes`` /
-    #: ``outbound``) but never as received load.
+    #: Messages removed before delivery — by the loss model or by a
+    #: fault injector.  Dropped messages still count as sent traffic
+    #: (``messages`` / ``bytes`` / ``outbound``) but never as received
+    #: load.  The per-cause split lives in ``loss_dropped`` /
+    #: ``fault_dropped``.
     dropped: int = 0
+    #: Drops charged to the random :class:`~repro.net.loss.LossModel`.
+    loss_dropped: int = 0
+    #: Drops charged to a fault injector (crashed endpoint / partition).
+    fault_dropped: int = 0
+    #: Messages whose delivery a fault injector postponed.
+    fault_delayed: int = 0
+    #: Extra delivery copies created by duplicate faults.
+    fault_duplicated: int = 0
     by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     #: Messages received per node — the load metric that exposes
     #: hot-spots such as an overloaded global root.
     inbound: dict[int, int] = field(default_factory=lambda: defaultdict(int))
     outbound: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    #: Messages dropped per destination node (loss + fault causes).
+    dropped_inbound: dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
 
     def note(self, msg: Message, delivered: bool = True) -> None:
         self.messages += 1
@@ -60,6 +74,7 @@ class ChannelStats:
             self.inbound[msg.dst] += 1
         else:
             self.dropped += 1
+            self.dropped_inbound[msg.dst] += 1
 
     def hottest_receiver(self) -> tuple[int, int]:
         """(node, message count) of the most-loaded receiver."""
@@ -104,6 +119,23 @@ class Network:
         #: onto the event heap: no Event handle, no past-check, and no
         #: per-send ``partial`` allocation.
         self._queue = sim._queue
+        #: Optional fault injector (see :mod:`repro.faults.injector`).
+        #: ``None`` on the hot path keeps fault support free for normal
+        #: runs: one identity check per send.
+        self._injector: "FaultInjector | None" = None  # noqa: F821
+
+    def install_injector(self, injector: "FaultInjector") -> None:  # noqa: F821
+        """Hook a fault injector into the send and delivery paths.
+
+        At most one injector per network.  Installing clears the
+        ``(dst, kind)`` delivery cache so future resolutions wrap the
+        handler in the injector's delivery guard, which drops in-flight
+        messages addressed to a node that crashed after they were sent.
+        """
+        if self._injector is not None:
+            raise NetworkError("a fault injector is already installed")
+        self._injector = injector
+        self._direct.clear()
 
     def attach(
         self,
@@ -139,6 +171,9 @@ class Network:
             fn = self._handlers.get(dst)
             if fn is None:
                 raise NetworkError(f"no handler attached for destination {dst}")
+        injector = self._injector
+        if injector is not None:
+            fn = injector.guard_delivery(dst, fn)
         self._direct[(dst, kind)] = fn
         return fn
 
@@ -185,22 +220,51 @@ class Network:
         arrival = now + (base + size_bytes / self._link_bandwidth)
         if self.loss_model is not None and self.loss_model.should_drop(msg):
             stats.dropped += 1
+            stats.loss_dropped += 1
+            stats.dropped_inbound[dst] += 1
             if sim.trace_enabled:
                 sim.tracer.record(now, "net.dropped", msg=str(msg), arrival=arrival)
             return arrival
-        stats.inbound[dst] += 1
-        last_arrival = self._last_arrival
-        previous = last_arrival.get(key)
-        if previous is not None and arrival < previous:
-            arrival = previous
-        last_arrival[key] = arrival
+        copies = 1
+        clamp_fifo = True
+        injector = self._injector
+        if injector is not None:
+            verdict = injector.on_send(msg)
+            if verdict is not None:
+                extra_delay, copies, clamp_fifo = verdict
+                if copies == 0:
+                    # Crashed endpoint or partition-crossing message.
+                    stats.dropped += 1
+                    stats.fault_dropped += 1
+                    stats.dropped_inbound[dst] += 1
+                    if sim.trace_enabled:
+                        sim.tracer.record(
+                            now, "fault.dropped", msg=str(msg), arrival=arrival
+                        )
+                    return arrival
+                if extra_delay > 0.0:
+                    arrival += extra_delay
+                    stats.fault_delayed += 1
+                if copies > 1:
+                    stats.fault_duplicated += copies - 1
+        stats.inbound[dst] += copies
+        if clamp_fifo:
+            last_arrival = self._last_arrival
+            previous = last_arrival.get(key)
+            if previous is not None and arrival < previous:
+                arrival = previous
+            last_arrival[key] = arrival
 
-        # Inlined EventQueue.push_call.
+        # Inlined EventQueue.push_call (one entry per delivery copy).
         queue = self._queue
         seq = queue._next_seq
-        queue._next_seq = seq + 1
+        queue._next_seq = seq + copies
         heappush(queue._heap, (arrival, 0, seq, handler, msg))
-        queue._live += 1
+        if copies > 1:
+            heap = queue._heap
+            for offset in range(1, copies):
+                heappush(heap, (arrival, 0, seq + offset, handler, msg))
+        queue._live += copies
         if sim.trace_enabled:
             sim.tracer.record(now, "net.send", msg=str(msg), arrival=arrival)
         return arrival
@@ -218,12 +282,16 @@ class Network:
         Semantically identical to building and :meth:`send`-ing one
         :class:`Message` per target, but with the per-message constants
         (stats counters, serialization delay, clock, heap) hoisted out
-        of the loop.  Loss-model and tracing runs take the plain
-        :meth:`send` path so per-message drop decisions and trace
-        records stay exactly as before.
+        of the loop.  Loss-model, fault-injection, and tracing runs take
+        the plain :meth:`send` path so per-message drop decisions and
+        trace records stay exactly as before.
         """
         sim = self.sim
-        if self.loss_model is not None or sim.trace_enabled:
+        if (
+            self.loss_model is not None
+            or self._injector is not None
+            or sim.trace_enabled
+        ):
             for dst in targets:
                 self.send(Message(src, dst, kind, payload, size_bytes))
             return

@@ -234,16 +234,24 @@ class Simulator:
             self._running = False
         return self._now
 
+    def blocked_processes(self) -> list["Process"]:  # noqa: F821
+        """Processes that have not finished (killed ones count as done)."""
+        return [p for p in self._processes if not p.finished]
+
     def check_quiescent(self) -> None:
         """Raise unless every spawned process has finished.
 
         Workload drivers call this after :meth:`run` to catch deadlocks:
         a process still waiting when the event queue is empty can never
-        make progress again.
+        make progress again.  The report names each blocked process and
+        what it is waiting on (the signal, future, or join target).
         """
-        stuck = [p.name for p in self._processes if not p.finished]
+        stuck = self.blocked_processes()
         if stuck:
+            details = "\n".join(
+                f"  - {p.name}: {p.describe_wait()}" for p in stuck
+            )
             raise SimulationError(
-                "simulation ended with blocked processes (deadlock?): "
-                + ", ".join(stuck)
+                f"simulation ended at t={self._now:.9g} with {len(stuck)} "
+                "blocked process(es) (deadlock?):\n" + details
             )

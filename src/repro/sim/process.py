@@ -47,7 +47,17 @@ class Process:
         self.gen = gen
         self.name = name
         self.finished = False
+        #: Set by :meth:`kill`: the process was forcibly terminated (a
+        #: simulated node crash) rather than running to completion.
+        self.killed = False
         self.result: Any = None
+        #: Total generator steps taken — the watchdog's progress signal.
+        self.steps = 0
+        #: The waitable this process is currently blocked on (a
+        #: :class:`Future`, :class:`Signal`, or :class:`Process`), or
+        #: ``None`` when runnable/sleeping.  Feeds stall diagnostics.
+        self.waiting_on: Any = None
+        self.waiting_since: float = 0.0
         self._completion = Future(name=f"{name}.done")
         # Process steps are fire-and-forget: nothing in the library
         # cancels a pending resume, so steps use the simulator's
@@ -68,10 +78,50 @@ class Process:
         """A future resolved with the process's return value at exit."""
         return self._completion
 
+    def kill(self) -> None:
+        """Forcibly terminate the process (simulated node crash).
+
+        The generator is closed (running any pending cleanup), the
+        process is marked finished+killed, and joiners are resumed with
+        ``None``.  Already-scheduled resume events become no-ops, as do
+        waiter callbacks the process left behind on signals or futures.
+        Killing a finished process is a no-op.
+        """
+        if self.finished:
+            return
+        self.killed = True
+        self.finished = True
+        self.waiting_on = None
+        self.gen.close()
+        if not self._completion.resolved:
+            self._completion.resolve(None)
+
+    def describe_wait(self) -> str:
+        """Human-readable account of what this process is blocked on."""
+        if self.finished:
+            return "killed" if self.killed else "finished"
+        target = self.waiting_on
+        if target is None:
+            return "runnable (next step scheduled)"
+        if isinstance(target, Future):
+            what = f"future {target.name!r}"
+        elif isinstance(target, Signal):
+            what = f"signal {target.name!r}"
+        elif isinstance(target, Process):
+            what = f"join on process {target.name!r}"
+        else:  # pragma: no cover - defensive
+            what = repr(target)
+        return f"waiting on {what} since t={self.waiting_since:.9g}"
+
     def _resume(self, value: Any) -> None:
         """Advance the generator one step, dispatching its next request."""
         if self.finished:
+            if self.killed:
+                # A resume scheduled before the crash; the node is gone.
+                return
             raise ProcessError(f"process {self.name!r} resumed after finish")
+        self.steps += 1
+        self.waiting_on = None
         try:
             request = self.gen.send(value)
         except StopIteration as stop:
@@ -98,10 +148,16 @@ class Process:
                 )
             self._push(self.sim._now + float(request), self._resume_none)
         elif isinstance(request, Future):
+            self.waiting_on = request
+            self.waiting_since = self.sim._now
             request.add_callback(self._resume_later)
         elif isinstance(request, Signal):
+            self.waiting_on = request
+            self.waiting_since = self.sim._now
             request.add_callback(self._resume_later)
         elif isinstance(request, Process):
+            self.waiting_on = request
+            self.waiting_since = self.sim._now
             request.completion.add_callback(self._resume_later)
         else:
             raise ProcessError(

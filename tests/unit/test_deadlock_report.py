@@ -1,0 +1,169 @@
+"""End-of-run deadlock reporting and process kill/wait diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.waiters import Future, Signal
+
+
+class TestCheckQuiescentReport:
+    def test_report_names_each_process_and_wait_target(self):
+        sim = Simulator()
+        lock_signal = Signal(name="n0.lock")
+        reply = Future(name="rpc.reply")
+
+        def signal_waiter():
+            yield 1.0
+            yield lock_signal
+
+        def future_waiter():
+            yield 2.0
+            yield reply
+
+        sim.spawn(signal_waiter(), name="worker-a")
+        sim.spawn(future_waiter(), name="worker-b")
+        sim.run()
+        with pytest.raises(SimulationError) as excinfo:
+            sim.check_quiescent()
+        message = str(excinfo.value)
+        assert "2 blocked process(es)" in message
+        assert "- worker-a: waiting on signal 'n0.lock' since t=1" in message
+        assert "- worker-b: waiting on future 'rpc.reply' since t=2" in message
+
+    def test_report_names_join_target(self):
+        sim = Simulator()
+
+        def child():
+            yield Future(name="never")
+
+        def parent(proc):
+            yield proc
+
+        child_proc = sim.spawn(child(), name="child")
+        sim.spawn(parent(child_proc), name="parent")
+        sim.run()
+        with pytest.raises(SimulationError, match="join on process 'child'"):
+            sim.check_quiescent()
+
+    def test_quiescent_run_passes(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+
+        sim.spawn(proc(), name="p")
+        sim.run()
+        sim.check_quiescent()  # must not raise
+
+
+class TestDescribeWait:
+    def test_runnable_process(self):
+        sim = Simulator()
+
+        def proc():
+            yield 5.0
+
+        p = sim.spawn(proc(), name="p")
+        assert p.describe_wait() == "runnable (next step scheduled)"
+        sim.run()
+        assert p.describe_wait() == "finished"
+
+    def test_wait_timestamp_recorded(self):
+        sim = Simulator()
+        future = Future(name="f")
+
+        def proc():
+            yield 2.5
+            yield future
+
+        p = sim.spawn(proc(), name="p")
+        sim.run()
+        assert p.waiting_on is future
+        assert p.waiting_since == 2.5
+        assert "since t=2.5" in p.describe_wait()
+
+
+class TestKill:
+    def test_killed_process_reports_killed_and_unblocks_quiescence(self):
+        sim = Simulator()
+
+        def proc():
+            yield Future(name="never")
+
+        p = sim.spawn(proc(), name="doomed")
+        sim.schedule(1.0, p.kill)
+        sim.run()
+        assert p.killed and p.finished
+        assert p.describe_wait() == "killed"
+        sim.check_quiescent()  # killed processes are not "blocked"
+
+    def test_kill_resumes_joiners_with_none(self):
+        sim = Simulator()
+        got: list[object] = []
+
+        def child():
+            yield Future(name="never")
+            return "unreachable"
+
+        def parent(proc):
+            got.append((yield proc))
+
+        child_proc = sim.spawn(child(), name="child")
+        sim.spawn(parent(child_proc), name="parent")
+        sim.schedule(1.0, child_proc.kill)
+        sim.run()
+        assert got == [None]
+
+    def test_kill_runs_generator_cleanup(self):
+        sim = Simulator()
+        cleaned: list[bool] = []
+
+        def proc():
+            try:
+                yield Future(name="never")
+            finally:
+                cleaned.append(True)
+
+        p = sim.spawn(proc(), name="p")
+        sim.schedule(1.0, p.kill)
+        sim.run()
+        assert cleaned == [True]
+
+    def test_scheduled_resume_after_kill_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield 5.0  # resume already queued for t=5
+
+        p = sim.spawn(proc(), name="p")
+        sim.schedule(1.0, p.kill)
+        sim.run()  # the stale t=5 resume must not raise ProcessError
+        assert p.killed
+
+    def test_kill_finished_process_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return "done"
+
+        p = sim.spawn(proc(), name="p")
+        sim.run()
+        p.kill()
+        assert p.finished and not p.killed
+        assert p.result == "done"
+
+    def test_double_kill_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield Future(name="never")
+
+        p = sim.spawn(proc(), name="p")
+        sim.schedule(1.0, p.kill)
+        sim.schedule(2.0, p.kill)
+        sim.run()
+        assert p.killed

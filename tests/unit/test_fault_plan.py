@@ -1,0 +1,126 @@
+"""Validation and construction tests for declarative fault plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults.plan import (
+    CRASH,
+    DELAY,
+    DUPLICATE,
+    HEAL,
+    PARTITION,
+    RESTART,
+    FaultEvent,
+    FaultPlan,
+    crash,
+    delay,
+    duplicate,
+    heal,
+    partition,
+    restart,
+)
+
+
+class TestFactories:
+    def test_each_factory_sets_its_kind(self):
+        assert crash(1.0, node=2).kind == CRASH
+        assert restart(1.0, node=2).kind == RESTART
+        assert partition(1.0, nodes=(1, 2)).kind == PARTITION
+        assert heal(1.0, nodes=(1, 2)).kind == HEAL
+        assert delay(1.0, extra=1e-6).kind == DELAY
+        assert duplicate(1.0).kind == DUPLICATE
+
+    def test_crash_by_holder(self):
+        event = crash(1.0, holder_of="L")
+        assert event.node is None
+        assert event.holder_of == "L"
+
+    def test_duplicate_defaults_to_apply_stream(self):
+        assert duplicate(1.0).message_kinds == ("gwc.apply",)
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultError, match="time must be >= 0"):
+            crash(-1.0, node=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            FaultEvent(time=0.0, kind="meteor")
+
+    def test_crash_needs_exactly_one_target(self):
+        with pytest.raises(FaultError, match="exactly one"):
+            crash(1.0)
+        with pytest.raises(FaultError, match="exactly one"):
+            crash(1.0, node=1, holder_of="L")
+
+    def test_restart_needs_node(self):
+        with pytest.raises(FaultError, match="needs node="):
+            FaultEvent(time=0.0, kind=RESTART)
+
+    def test_partition_needs_nodes(self):
+        with pytest.raises(FaultError, match="non-empty nodes"):
+            partition(1.0, nodes=())
+
+    def test_partition_duplicate_nodes_rejected(self):
+        with pytest.raises(FaultError, match="duplicate nodes"):
+            partition(1.0, nodes=(1, 1))
+
+    def test_until_must_follow_time(self):
+        with pytest.raises(FaultError, match="must be after"):
+            partition(2.0, nodes=(1,), until=2.0)
+
+    def test_delay_needs_positive_extra(self):
+        with pytest.raises(FaultError, match="extra_delay"):
+            delay(1.0, extra=0.0)
+
+    def test_delay_negative_jitter_rejected(self):
+        with pytest.raises(FaultError, match="jitter"):
+            delay(1.0, extra=1e-6, jitter=-0.1)
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultError, match="probability"):
+            delay(1.0, extra=1e-6, probability=0.0)
+        with pytest.raises(FaultError, match="probability"):
+            duplicate(1.0, probability=1.5)
+
+    def test_duplicate_needs_two_copies(self):
+        with pytest.raises(FaultError, match="copies"):
+            duplicate(1.0, copies=1)
+
+
+class TestPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(
+            [restart(5.0, node=1), crash(1.0, node=1), heal(3.0, nodes=(2,))],
+            seed=9,
+        )
+        assert [e.time for e in plan.events] == [1.0, 3.0, 5.0]
+        assert plan.seed == 9
+        assert len(plan) == 3
+
+    def test_plan_is_immutable(self):
+        plan = FaultPlan([crash(1.0, node=0)])
+        with pytest.raises(AttributeError):
+            plan.seed = 1  # type: ignore[misc]
+
+    def test_validate_accepts_in_range_nodes(self):
+        plan = FaultPlan([crash(1.0, node=3), partition(2.0, nodes=(0, 1))])
+        plan.validate(4)
+
+    def test_validate_rejects_unknown_node(self):
+        plan = FaultPlan([crash(1.0, node=7)])
+        with pytest.raises(FaultError, match="nodes 0..3"):
+            plan.validate(4)
+
+    def test_validate_rejects_unknown_partition_member(self):
+        plan = FaultPlan([partition(1.0, nodes=(1, 9))])
+        with pytest.raises(FaultError, match=r"unknown node\(s\) \[9\]"):
+            plan.validate(4)
+
+    def test_validate_rejects_total_isolation(self):
+        plan = FaultPlan([partition(1.0, nodes=(0, 1, 2))])
+        with pytest.raises(FaultError, match="isolates every node"):
+            plan.validate(3)

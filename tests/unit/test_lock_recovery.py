@@ -1,0 +1,190 @@
+"""Lock crash-recovery: retry policy, tolerant manager, leases, timeouts."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.consistency.base import make_system
+from repro.core.machine import DSMMachine
+from repro.errors import FaultError, LockStateError, LockTimeoutError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, partition
+from repro.locks.gwc_lock import GwcLockManager, LockRetryPolicy
+from repro.memory.varspace import (
+    FREE_VALUE,
+    LockDecl,
+    grant_value,
+    request_value,
+)
+from repro.sim.kernel import Simulator
+
+
+class TestLockRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(FaultError, match="timeout"):
+            LockRetryPolicy(timeout=0.0)
+        with pytest.raises(FaultError, match="budget"):
+            LockRetryPolicy(timeout=1.0, max_retries=-1)
+        with pytest.raises(FaultError, match="factor"):
+            LockRetryPolicy(timeout=1.0, backoff_factor=0.5)
+        with pytest.raises(FaultError, match="jitter"):
+            LockRetryPolicy(timeout=1.0, jitter=-0.1)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = LockRetryPolicy(timeout=1.0, jitter=0.0)
+        rng = Random(0)
+        delays = [policy.backoff_delay(a, rng) for a in range(6)]
+        # base = timeout/2, factor 2, cap = timeout*8.
+        assert delays == [0.5, 1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_jitter_stretches_within_bounds_deterministically(self):
+        policy = LockRetryPolicy(timeout=1.0, jitter=0.5)
+        first = policy.backoff_delay(0, Random(7))
+        again = policy.backoff_delay(0, Random(7))
+        assert first == again  # seeded => reproducible
+        assert 0.5 <= first <= 0.75  # base .. base * (1 + jitter)
+
+
+def _manager(recovery: bool = False) -> GwcLockManager:
+    return GwcLockManager(LockDecl("L", "g"), recovery=recovery)
+
+
+class TestManagerRecoveryMode:
+    def test_strict_mode_rejects_duplicate_request(self):
+        manager = _manager()
+        manager.on_write(1, request_value(1))
+        with pytest.raises(LockStateError, match="requested twice"):
+            manager.on_write(1, request_value(1))
+
+    def test_strict_mode_rejects_foreign_release(self):
+        manager = _manager()
+        manager.on_write(1, request_value(1))
+        with pytest.raises(LockStateError, match="released but holder"):
+            manager.on_write(2, FREE_VALUE)
+
+    def test_holder_retry_reemits_lost_grant(self):
+        manager = _manager(recovery=True)
+        assert manager.on_write(1, request_value(1)) == [grant_value(1)]
+        # The grant was lost in flight; the client times out and retries.
+        assert manager.on_write(1, request_value(1)) == [grant_value(1)]
+        assert manager.regrants == 1
+        assert manager.holder == 1
+
+    def test_queued_retry_is_idempotent(self):
+        manager = _manager(recovery=True)
+        manager.on_write(1, request_value(1))
+        manager.on_write(2, request_value(2))
+        assert manager.on_write(2, request_value(2)) == []
+        assert manager.queue == [2]
+
+    def test_timed_out_requester_cancels_its_queue_slot(self):
+        manager = _manager(recovery=True)
+        manager.on_write(1, request_value(1))
+        manager.on_write(2, request_value(2))
+        assert manager.on_write(2, FREE_VALUE) == []
+        assert manager.queue == []
+        assert manager.cancelled_requests == 1
+        # Holder 1's eventual release now frees the lock outright.
+        assert manager.on_write(1, FREE_VALUE) == [FREE_VALUE]
+
+    def test_stale_release_is_dropped(self):
+        manager = _manager(recovery=True)
+        manager.on_write(1, request_value(1))
+        assert manager.on_write(3, FREE_VALUE) == []
+        assert manager.stale_releases == 1
+        assert manager.holder == 1
+
+    def test_forged_request_still_rejected(self):
+        manager = _manager(recovery=True)
+        with pytest.raises(LockStateError, match="forged"):
+            manager.on_write(1, request_value(2))
+
+
+class TestLeases:
+    def test_bad_duration_rejected(self):
+        with pytest.raises(FaultError, match="duration"):
+            _manager().enable_lease(Simulator(), lambda _v: None, duration=0.0)
+
+    def test_crashed_holder_is_reclaimed_and_next_waiter_granted(self):
+        sim = Simulator()
+        manager = _manager()
+        emitted: list[list] = []
+        reclaims: list[tuple] = []
+        crashed: set[int] = set()
+        manager.on_reclaim = lambda *args: reclaims.append(args)
+        manager.enable_lease(
+            sim, emitted.append, duration=1.0, is_crashed=crashed.__contains__
+        )
+        manager.on_write(1, request_value(1))  # granted; lease armed
+        manager.on_write(2, request_value(2))  # queued
+        crashed.add(1)
+        # Node 2 releases after the reclaim so the sim can drain.
+        sim.schedule(1.5, lambda: emitted.append(manager.on_write(2, FREE_VALUE)))
+        sim.run()
+        assert manager.lease_reclaims == 1
+        assert reclaims == [("L", 1, 2, 1.0)]
+        assert emitted == [[grant_value(2)], [FREE_VALUE]]
+
+    def test_reclaim_with_empty_queue_frees_the_lock(self):
+        sim = Simulator()
+        manager = _manager()
+        emitted: list[list] = []
+        manager.enable_lease(
+            sim, emitted.append, duration=1.0, is_crashed=lambda _n: True
+        )
+        manager.on_write(1, request_value(1))
+        sim.run()
+        assert manager.holder is None
+        assert emitted == [[FREE_VALUE]]
+
+    def test_live_holder_gets_extension_not_reclaim(self):
+        sim = Simulator()
+        manager = _manager()
+        manager.enable_lease(
+            sim, lambda _v: None, duration=1.0, is_crashed=lambda _n: False
+        )
+        manager.on_write(1, request_value(1))
+        # A long critical section: released only after two lease periods.
+        sim.schedule(2.5, lambda: manager.on_write(1, FREE_VALUE))
+        sim.run()
+        assert manager.lease_extensions == 2
+        assert manager.lease_reclaims == 0
+        assert manager.holder is None
+
+    def test_stale_epoch_check_is_ignored(self):
+        sim = Simulator()
+        manager = _manager()
+        manager.enable_lease(
+            sim, lambda _v: None, duration=1.0, is_crashed=lambda _n: True
+        )
+        manager.on_write(1, request_value(1))
+        manager.on_write(1, FREE_VALUE)  # occupancy over; epoch advanced
+        manager._lease_check(epoch=1)  # the pre-release epoch
+        assert manager.lease_reclaims == 0
+
+
+class TestClientTimeout:
+    def test_unreachable_root_raises_lock_timeout_error(self):
+        """A partitioned requester times out, retries with backoff, and
+        exhausts its budget with LockTimeoutError."""
+        machine = DSMMachine(n_nodes=2, seed=1, reliable=True)
+        machine.create_group("g")
+        machine.declare_variable("g", "x", 0, mutex_lock="L")
+        machine.declare_lock("g", "L", protects=("x",))
+        injector = FaultInjector(
+            machine, FaultPlan([partition(0.0, nodes=(1,))])
+        )
+        injector.install()
+        policy = LockRetryPolicy(timeout=1e-4, max_retries=2, jitter=0.0)
+        system = make_system("gwc", machine, lock_retry=policy)
+
+        def requester():
+            yield from system.acquire(machine.nodes[1], "L")
+
+        machine.spawn(requester(), name="requester")
+        with pytest.raises(LockTimeoutError, match="after 3 attempt"):
+            machine.run()
+        assert machine.metrics.total_counter("lock.timeouts") == 3
+        assert machine.metrics.total_counter("lock.retries") == 2

@@ -78,7 +78,7 @@ class TestCli:
     def test_parser_knows_all_commands(self):
         parser = build_parser()
         for command in ("figure1", "figure2", "figure8", "figure7",
-                        "ablations", "systems"):
+                        "ablations", "systems", "chaos"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -108,6 +108,37 @@ class TestCli:
         assert main(["figure2", "--sizes", "3,5", "--tasks", "32"]) == 0
         out = capsys.readouterr().out
         assert "task management" in out
+
+    def test_chaos_smoke_command(self, capsys, tmp_path):
+        csv_path = tmp_path / "chaos.csv"
+        assert main(["chaos", "--smoke", "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos soak" in out
+        assert "crash_holder" in out
+        assert "7/7 run(s) ok" in out
+        assert csv_path.read_text().startswith("system,workload,scenario")
+
+    def test_chaos_single_scenario(self, capsys):
+        assert main(
+            ["chaos", "--systems", "gwc", "--scenario", "partition"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1/1 run(s) ok" in out
+
+    def test_chaos_no_recovery_reports_stall_and_fails(self, capsys):
+        assert main(
+            [
+                "chaos",
+                "--systems",
+                "gwc",
+                "--scenario",
+                "crash_holder",
+                "--no-recovery",
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "STALL" in out
+        assert "0/1 run(s) ok" in out
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

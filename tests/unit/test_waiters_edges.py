@@ -1,0 +1,117 @@
+"""Edge-case tests for the Future/Signal waitable primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.waiters import Future, Signal
+
+
+class TestFutureEdges:
+    def test_double_resolve_raises(self):
+        future = Future(name="once")
+        future.resolve("a")
+        with pytest.raises(SimulationError, match="resolved twice"):
+            future.resolve("b")
+        # The first value survives the failed second resolve.
+        assert future.value == "a"
+
+    def test_double_resolve_with_same_value_still_raises(self):
+        future = Future()
+        future.resolve(None)
+        with pytest.raises(SimulationError, match="twice"):
+            future.resolve(None)
+
+    def test_callback_added_after_resolution_fires_immediately(self):
+        future = Future()
+        future.resolve(42)
+        seen: list[int] = []
+        future.add_callback(seen.append)
+        assert seen == [42]
+
+    def test_callbacks_run_in_registration_order(self):
+        future = Future()
+        order: list[str] = []
+        future.add_callback(lambda _v: order.append("first"))
+        future.add_callback(lambda _v: order.append("second"))
+        future.resolve(None)
+        assert order == ["first", "second"]
+
+    def test_callback_resolving_another_future_is_safe(self):
+        first = Future()
+        second = Future()
+        first.add_callback(lambda v: second.resolve(v + 1))
+        first.resolve(1)
+        assert second.value == 2
+
+    def test_wait_after_resolution_resumes_immediately(self):
+        sim = Simulator()
+        future = Future()
+        got: list[tuple[float, object]] = []
+
+        def late_waiter():
+            yield 3.0
+            value = yield future
+            got.append((sim.now, value))
+
+        sim.spawn(late_waiter(), name="late")
+        sim.schedule(1.0, lambda: future.resolve("early"))
+        sim.run()
+        # Resolved at t=1; the waiter arriving at t=3 must not block.
+        assert got == [(3.0, "early")]
+
+
+class TestSignalEdges:
+    def test_remove_callback_during_fire_returns_false(self):
+        """fire() swaps the waiter list out first, so a callback that
+        tries to deregister itself (or a sibling) mid-fire finds the
+        registry already empty — and every waiter still runs."""
+        signal = Signal(name="s")
+        results: list[str] = []
+
+        def second(_payload):
+            results.append("second")
+
+        def first(_payload):
+            # Both callbacks are already detached for this fire.
+            results.append(f"removed={signal.remove_callback(second)}")
+
+        signal.add_callback(first)
+        signal.add_callback(second)
+        woken = signal.fire("x")
+        assert woken == 2
+        assert results == ["removed=False", "second"]
+        assert signal.waiter_count == 0
+
+    def test_callback_added_during_fire_waits_for_next_fire(self):
+        signal = Signal()
+        fires: list[str] = []
+
+        def re_register(payload):
+            fires.append(f"got {payload}")
+            signal.add_callback(re_register)
+
+        signal.add_callback(re_register)
+        signal.fire("one")
+        assert fires == ["got one"]
+        # The re-registration belongs to the *next* fire, not this one.
+        assert signal.waiter_count == 1
+        signal.fire("two")
+        assert fires == ["got one", "got two"]
+
+    def test_fire_with_no_waiters_counts_but_wakes_none(self):
+        signal = Signal()
+        assert signal.fire("lost") == 0
+        assert signal.fire_count == 1
+
+    def test_remove_callback_only_removes_one_registration(self):
+        signal = Signal()
+        seen: list[object] = []
+        cb = seen.append
+        signal.add_callback(cb)
+        signal.add_callback(cb)
+        assert signal.remove_callback(cb) is True
+        signal.fire("x")
+        assert seen == ["x"]

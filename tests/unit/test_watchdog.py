@@ -1,0 +1,147 @@
+"""Unit tests for the progress watchdog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError, StallError
+from repro.sim.kernel import Simulator
+from repro.sim.watchdog import Watchdog
+from repro.sim.waiters import Future, Signal
+
+
+class TestValidation:
+    def test_bad_interval_rejected(self):
+        with pytest.raises(SimulationError, match="interval"):
+            Watchdog(Simulator(), interval=0.0)
+
+    def test_bad_patience_rejected(self):
+        with pytest.raises(SimulationError, match="patience"):
+            Watchdog(Simulator(), interval=1.0, patience=0)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(SimulationError, match="max_sim_time"):
+            Watchdog(Simulator(), interval=1.0, max_sim_time=-1.0)
+
+
+class TestHealthyRuns:
+    def test_disarms_itself_when_all_processes_finish(self):
+        sim = Simulator()
+
+        def proc():
+            for _ in range(10):
+                yield 1.0
+
+        sim.spawn(proc(), name="p")
+        dog = Watchdog(sim, interval=3.0)
+        dog.arm()
+        sim.run()
+        assert not dog.armed
+        assert dog.checks >= 1
+
+    def test_no_false_positive_while_progressing(self):
+        sim = Simulator()
+        signal = Signal(name="tick")
+
+        def pinger():
+            for _ in range(50):
+                yield 1.0
+                signal.fire()
+
+        def listener():
+            for _ in range(50):
+                yield signal
+
+        sim.spawn(pinger(), name="pinger")
+        sim.spawn(listener(), name="listener")
+        # Checks fall between real events many times over.
+        dog = Watchdog(sim, interval=0.5, patience=1)
+        dog.arm()
+        sim.run()  # must not raise
+
+    def test_arm_twice_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+
+        sim.spawn(proc(), name="p")
+        dog = Watchdog(sim, interval=0.25)
+        dog.arm()
+        dog.arm()
+        sim.run()
+        assert dog.checks >= 1
+
+
+class TestStallDetection:
+    def test_drained_queue_deadlock_is_reported(self):
+        sim = Simulator()
+
+        def proc():
+            yield Future(name="never")
+
+        sim.spawn(proc(), name="stuck-worker")
+        Watchdog(sim, interval=1.0).arm()
+        with pytest.raises(StallError) as excinfo:
+            sim.run()
+        message = str(excinfo.value)
+        assert "no runnable events remain" in message
+        assert "stuck-worker: waiting on future 'never'" in message
+
+    def test_max_sim_time_budget_enforced(self):
+        sim = Simulator()
+
+        def proc():
+            yield 100.0  # live event far in the future keeps the queue busy
+
+        sim.spawn(proc(), name="sleeper")
+        Watchdog(sim, interval=1.0, max_sim_time=5.0, patience=1000).arm()
+        with pytest.raises(StallError, match="exceeded the max_sim_time budget"):
+            sim.run()
+        assert sim.now <= 6.0
+
+    def test_livelock_detected_after_patience_checks(self):
+        sim = Simulator()
+
+        def beat():
+            # A recurring protocol event: the queue never drains, but no
+            # process advances — invisible without the watchdog.
+            sim.schedule(1.0, beat)
+
+        def proc():
+            yield Future(name="never")
+
+        sim.spawn(proc(), name="blocked")
+        sim.schedule(1.0, beat)
+        dog = Watchdog(sim, interval=1.0, patience=3)
+        dog.arm()
+        with pytest.raises(StallError, match="no process progressed for 3"):
+            sim.run()
+
+    def test_disarm_stops_checks(self):
+        sim = Simulator()
+
+        def proc():
+            yield Future(name="never")
+
+        p = sim.spawn(proc(), name="p")
+        dog = Watchdog(sim, interval=1.0)
+        dog.arm()
+        dog.disarm()
+        sim.run()  # the pending check is a no-op; the hang stays silent
+        assert not p.finished
+
+    def test_stall_report_caps_process_list(self):
+        sim = Simulator()
+
+        def proc():
+            yield Future(name="never")
+
+        for i in range(25):
+            sim.spawn(proc(), name=f"w{i}")
+        Watchdog(sim, interval=1.0).arm()
+        with pytest.raises(StallError) as excinfo:
+            sim.run()
+        message = str(excinfo.value)
+        assert "25 process(es) blocked" in message
+        assert "... and 5 more" in message
