@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test chaos-smoke bench bench-full bench-json perf-smoke examples figures all clean
+.PHONY: install test chaos-smoke failover-smoke bench bench-full bench-json perf-smoke examples figures all clean
 
 install:
 	$(PY) setup.py develop
@@ -10,10 +10,17 @@ install:
 test:
 	PYTHONPATH=src $(PY) -m pytest tests/
 	PYTHONPATH=src $(PY) -m repro chaos --smoke
+	PYTHONPATH=src $(PY) -m repro chaos --scenario crash_root --seeds 3
 
 # Deterministic fault-injection mini-matrix (< 30 s); part of `make test`.
 chaos-smoke:
 	PYTHONPATH=src $(PY) -m repro chaos --smoke
+
+# Seeded root-kill matrix (GWC family x 3 seeds, byte-identical per
+# seed); part of `make test`.  Kills each group root mid-critical-
+# section and requires election + reconstruction to converge.
+failover-smoke:
+	PYTHONPATH=src $(PY) -m repro chaos --scenario crash_root --seeds 3
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

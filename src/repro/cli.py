@@ -175,6 +175,8 @@ def _chaos_combos(args: argparse.Namespace) -> list[tuple[str, str, str]]:
         return [
             ("gwc", "counter", "crash_holder"),
             ("gwc_optimistic", "counter", "crash_holder"),
+            ("gwc", "counter", "crash_root"),
+            ("gwc_optimistic", "counter", "crash_root"),
             ("gwc", "counter", "churn"),
             ("gwc", "counter", "partition"),
             ("gwc", "counter", "duplicate"),
@@ -189,6 +191,7 @@ def _chaos_combos(args: argparse.Namespace) -> list[tuple[str, str, str]]:
             for scenario in scenarios:
                 if args.workload == "task_queue" and scenario in (
                     "crash_holder",
+                    "crash_root",
                     "churn",
                 ):
                     continue
@@ -215,6 +218,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 ops_per_node=args.ops,
                 seed=seed,
                 recovery=not args.no_recovery,
+                failover=not args.no_failover,
             )
             results.append(run_chaos(config))
 
@@ -245,6 +249,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 result.lock_timeouts,
                 result.lock_retries,
                 summary["lock_reclaims"],
+                summary["failovers"],
                 recovery_us,
                 result.messages,
                 result.dropped,
@@ -264,6 +269,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 "lock_timeouts": result.lock_timeouts,
                 "lock_retries": result.lock_retries,
                 "lock_reclaims": summary["lock_reclaims"],
+                "failovers": summary["failovers"],
+                "stale_epoch_discards": summary["stale_epoch_discards"],
+                "rerouted_requests": summary["rerouted_requests"],
+                "window_discards": summary["window_discards"],
                 "recovery_time_mean_s": (
                     sum(result.recovery_times) / len(result.recovery_times)
                     if result.recovery_times
@@ -290,6 +299,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 "timeouts",
                 "retries",
                 "reclaims",
+                "failovers",
                 "recovery us",
                 "msgs",
                 "dropped",
@@ -438,7 +448,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario",
         type=str,
         default="mixed",
-        help="crash_holder|churn|partition|delay|duplicate|mixed (default)",
+        help="crash_holder|crash_root|churn|partition|delay|duplicate|mixed"
+        " (default)",
     )
     pc.add_argument(
         "--systems",
@@ -460,6 +471,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-recovery",
         action="store_true",
         help="disarm leases/retries (crash scenarios then end in a STALL)",
+    )
+    pc.add_argument(
+        "--no-failover",
+        action="store_true",
+        help="disarm root re-election (crash_root then ends in a STALL)",
     )
     pc.add_argument(
         "--smoke",

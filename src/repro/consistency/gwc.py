@@ -46,6 +46,21 @@ class GroupRootEngine:
         self.discarded = 0
         #: Updates sequenced and multicast.
         self.sequenced = 0
+        #: Sequencer epoch (root failover): bumped on every re-election;
+        #: every packet and heartbeat is stamped with it so members can
+        #: fence out a deposed sequencer's traffic.  ``epoch_start_seq``
+        #: is the first sequence number this engine's epoch covers.
+        self.epoch = 0
+        self.epoch_start_seq = 0
+        #: Set when a successor took over this engine's group: a deposed
+        #: engine sequences nothing and answers no NACKs.
+        self.deposed = False
+        #: Stale messages swallowed by the deposed guard.
+        self.deposed_ignored = 0
+        #: Updates stamped with a superseded epoch and discarded: writes
+        #: issued into the failover window, dropped by the new root
+        #: exactly like a non-holder's speculative write (§4).
+        self.window_discards = 0
         #: The root's authoritative value of every variable, updated at
         #: sequencing time.  Remote atomics (locks/rmw.py) serialize here.
         self._authoritative: dict[str, Any] = {}
@@ -124,15 +139,47 @@ class GroupRootEngine:
                 is_lock=True,
             )
 
+    def depose(self) -> None:
+        """Mark this engine superseded by a failover successor.
+
+        Cancels its timers so a stale lease check or trailing heartbeat
+        cannot allocate sequence numbers on the group's (now replaced)
+        multicast tree after the new epoch has begun.
+        """
+        self.deposed = True
+        if self._heartbeat_event is not None:
+            self.sim.cancel(self._heartbeat_event)
+            self._heartbeat_event = None
+        for manager in self.lock_managers.values():
+            manager._cancel_lease()
+
+    def adopt_state(
+        self, epoch: int, next_seq: int, image: "dict[str, Any]"
+    ) -> None:
+        """Seed a successor engine from quorum-reconstructed state.
+
+        ``next_seq`` is the quorum maximum of the survivors' applied
+        sequence numbers; this epoch's packets start exactly there, so
+        the engine's retransmission history can serve any NACK within
+        the new epoch.
+        """
+        self.epoch = epoch
+        self.epoch_start_seq = next_seq
+        self.sequenced = next_seq
+        self._authoritative = dict(image)
+
     def on_nack(self, member: int, from_seq: int) -> None:
         """Resend every sequenced packet from ``from_seq`` to ``member``."""
+        if self.deposed:
+            self.deposed_ignored += 1
+            return
         if self._heartbeat_interval is None:
             raise MemoryError_(
                 f"group {self.group.name!r} got a NACK but reliability is off"
             )
         import dataclasses
 
-        for seq in range(from_seq, self.sequenced):
+        for seq in range(max(from_seq, self.epoch_start_seq), self.sequenced):
             packet = dataclasses.replace(self._history[seq], retransmit=True)
             self.retransmissions += 1
             self.group.tree.network.send(
@@ -156,9 +203,12 @@ class GroupRootEngine:
 
     def _emit_heartbeat(self) -> None:
         self._heartbeat_event = None
+        if self.deposed:
+            return
         latest = self.sequenced - 1
         if latest < 0:
             return
+        payload = (self.group.name, latest, self.epoch, self.epoch_start_seq)
         for member in self.group.members:
             if member == self.group.root:
                 continue
@@ -167,7 +217,7 @@ class GroupRootEngine:
                     src=self.group.root,
                     dst=member,
                     kind="gwc.heartbeat",
-                    payload=(self.group.name, latest),
+                    payload=payload,
                     size_bytes=self.packet_bytes,
                 )
             )
@@ -218,6 +268,29 @@ class GroupRootEngine:
 
     def on_update(self, request: UpdateRequest) -> None:
         """Handle one origin->root update packet."""
+        if self.deposed:
+            # A stale in-flight update addressed to the old sequencer;
+            # the client's retry re-routes to the successor.
+            self.deposed_ignored += 1
+            return
+        if request.epoch != self.epoch:
+            # Issued into the failover window under the previous
+            # sequencer's epoch.  The origin's view of the lock state
+            # (and of the sequence history) may predate reconstruction,
+            # so the write is discarded like any non-holder speculation;
+            # the origin re-issues after adopting the new epoch.
+            self.window_discards += 1
+            if self.sim.trace_enabled:
+                self.sim.tracer.record(
+                    self.sim.now,
+                    "root.window_discarded",
+                    group=self.group.name,
+                    var=request.var,
+                    origin=request.origin,
+                    epoch=request.epoch,
+                    current=self.epoch,
+                )
+            return
         group = self.group
         if group.is_lock(request.var):
             manager = self.lock_managers[request.var]
@@ -255,6 +328,22 @@ class GroupRootEngine:
             is_lock=False,
         )
 
+    def sequence_rebuilt_lock(self, name: str, value: Any) -> None:
+        """Sequence one lock write synthesized from failover evidence.
+
+        The ``rebuilt`` stamp lets a member decline a grant it no longer
+        wants (its release died with the old root after the evidence
+        snapshot was taken).
+        """
+        self._sequence_and_multicast(
+            var=name,
+            value=value,
+            origin=self.group.root,
+            is_mutex_data=False,
+            is_lock=True,
+            rebuilt=True,
+        )
+
     def _sequence_and_multicast(
         self,
         var: str,
@@ -262,7 +351,11 @@ class GroupRootEngine:
         origin: int,
         is_mutex_data: bool,
         is_lock: bool,
+        rebuilt: bool = False,
     ) -> None:
+        if self.deposed:
+            self.deposed_ignored += 1
+            return
         self._authoritative[var] = value
         seq = self.group.tree.next_sequence()
         packet = ApplyPacket(
@@ -273,6 +366,9 @@ class GroupRootEngine:
             origin=origin,
             is_mutex_data=is_mutex_data,
             is_lock=is_lock,
+            epoch=self.epoch,
+            epoch_start=self.epoch_start_seq,
+            rebuilt=rebuilt,
         )
         self.sequenced += 1
         if self.sim.trace_enabled:

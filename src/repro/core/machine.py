@@ -55,6 +55,7 @@ class DSMMachine:
         checker: MutualExclusionChecker | None = None,
         loss_rate: float = 0.0,
         reliable: bool = False,
+        lossy_failover: bool = False,
     ) -> None:
         self.params = params
         self.sim = Simulator(seed=seed, tracer=tracer)
@@ -70,7 +71,9 @@ class DSMMachine:
                 from repro.net.loss import LossModel
 
                 self.loss_model = LossModel(
-                    loss_rate, self.sim.rng.stream("loss")
+                    loss_rate,
+                    self.sim.rng.stream("loss"),
+                    lossy_failover=lossy_failover,
                 )
             # Recovery timeout: comfortably above one diameter crossing.
             nack_timeout = max(
@@ -82,6 +85,10 @@ class DSMMachine:
         self.network = Network(self.sim, self.topology, params, self.loss_model)
         self.metrics = MachineMetrics(n_nodes)
         self.checker = checker
+        #: Installed by :class:`repro.faults.failover.RootFailoverManager`.
+        #: Its presence gates the epoch-fenced critical-section paths;
+        #: when ``None`` every section runs the original code path.
+        self.failover_manager: Any = None
         self.groups: dict[str, SharingGroup] = {}
         self._kind_handlers: dict[str, KindHandler] = {}
         self._per_node_handlers: dict[

@@ -112,3 +112,14 @@ class FaultError(ReproError):
     overlapping injector installs) or when a chaos scenario is
     incompatible with the requested consistency system.
     """
+
+
+class RootFailoverError(FaultError):
+    """Group-root failover could not complete.
+
+    Raised by :class:`repro.faults.failover.RootFailoverManager` when a
+    crashed group root has no live member left to elect as successor,
+    or when the reconstruction quorum cannot be assembled (every
+    surviving member unreachable).  Also raised by ``restart()`` of a
+    member whose group has no live root to re-inshare from.
+    """

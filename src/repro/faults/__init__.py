@@ -9,6 +9,10 @@
 * :mod:`repro.faults.injector` — :class:`~repro.faults.injector.FaultInjector`
   executes a plan against a live :class:`~repro.core.machine.DSMMachine`,
   hooking the network send/delivery paths and the process scheduler.
+* :mod:`repro.faults.failover` — epoch-fenced group-root failover:
+  :class:`~repro.faults.failover.RootFailoverManager` re-elects a
+  sequencer after a root crash and rebuilds its sequence space and lock
+  table from member-side evidence.
 * :mod:`repro.faults.chaos` — the seeded chaos harness behind the
   ``repro chaos`` CLI: workloads under fault schedules with
   mutual-exclusion and RMW-chain invariants checked throughout.
@@ -26,12 +30,14 @@ from repro.faults.plan import (
     partition,
     restart,
 )
+from repro.faults.failover import RootFailoverManager
 from repro.faults.injector import FaultInjector
 
 __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "RootFailoverManager",
     "crash",
     "delay",
     "duplicate",

@@ -36,6 +36,7 @@ from repro.core.machine import DSMMachine
 from repro.core.node import NodeHandle
 from repro.core.section import Section
 from repro.errors import FaultError, StallError
+from repro.faults.failover import RootFailoverManager
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     FaultPlan,
@@ -55,10 +56,23 @@ from repro.workloads import task_queue as tq_wl
 GWC_FAMILY = ("gwc", "gwc_optimistic")
 
 #: Scenario names.
-SCENARIOS = ("crash_holder", "churn", "partition", "delay", "duplicate")
+SCENARIOS = (
+    "crash_holder",
+    "crash_root",
+    "churn",
+    "partition",
+    "delay",
+    "duplicate",
+)
 
 #: Scenarios that require GWC-family recovery support.
-_RECOVERY_SCENARIOS = ("crash_holder", "churn", "partition", "duplicate")
+_RECOVERY_SCENARIOS = (
+    "crash_holder",
+    "crash_root",
+    "churn",
+    "partition",
+    "duplicate",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,6 +91,11 @@ class ChaosConfig:
     #: off, a crash scenario must end in the watchdog's StallError
     #: rather than a silent hang.
     recovery: bool = True
+    #: Install the root-failover manager (epoch-fenced re-election).
+    #: With it off, ``crash_root`` is the negative control: the group
+    #: loses its sequencer forever and the watchdog must flag the
+    #: resulting stall.
+    failover: bool = True
     #: Re-raise StallError instead of recording it in the result.
     raise_on_stall: bool = False
     params: MachineParams = PAPER_PARAMS
@@ -88,6 +107,9 @@ class ChaosConfig:
     watchdog_interval: float | None = None
     max_sim_time: float | None = None
     loss_rate: float = 0.0
+    #: Subject failover election traffic to the loss model too
+    #: (retransmitted queries/replies stay exempt).
+    lossy_failover: bool = False
     system_kwargs: dict[str, Any] = field(default_factory=dict)
 
 
@@ -146,7 +168,9 @@ def _chaos_counter_worker(
         node.locals["_done"] += 1
 
 
-def _default_plan(config: ChaosConfig, unit: float, lock: str) -> FaultPlan:
+def _default_plan(
+    config: ChaosConfig, unit: float, lock: str, group: str
+) -> FaultPlan:
     """Derive a schedule for the named scenario, scaled by ``unit``."""
     scenario = config.scenario
     n = config.n_nodes
@@ -154,6 +178,12 @@ def _default_plan(config: ChaosConfig, unit: float, lock: str) -> FaultPlan:
         # The injector retries until the lock actually has a holder, so
         # an early nominal time reliably hits mid-critical-section.
         return FaultPlan([crash(10 * unit, holder_of=lock)], seed=config.seed)
+    if scenario == "crash_root":
+        # Kills the group's sequencer while some *other* node holds the
+        # lock (the injector retries until that shape holds), forcing a
+        # failover that must rebuild both the sequence space and the
+        # lock table mid-critical-section.
+        return FaultPlan([crash(10 * unit, root_of=group)], seed=config.seed)
     if scenario == "churn":
         victim = n - 1
         return FaultPlan(
@@ -206,6 +236,7 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         raise FaultError(f"unknown chaos workload {config.workload!r}")
     if config.workload == "task_queue" and config.scenario in (
         "crash_holder",
+        "crash_root",
         "churn",
     ):
         # A crashed consumer takes its claimed-but-unfinished task with
@@ -223,6 +254,7 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         seed=config.seed,
         checker=checker,
         loss_rate=config.loss_rate,
+        lossy_failover=config.lossy_failover,
         reliable=True,
     )
     unit = machine.nack_timeout
@@ -243,7 +275,7 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         )
 
     plan = config.plan if config.plan is not None else _default_plan(
-        config, unit, lock
+        config, unit, lock, group
     )
     injector = FaultInjector(machine, plan)
 
@@ -262,6 +294,8 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
             lease_duration=lease, is_crashed=injector.is_crashed
         )
     injector.install()
+    if config.failover and gwc_family:
+        RootFailoverManager(machine, injector).install()
 
     system_kwargs = dict(config.system_kwargs)
     if gwc_family:
@@ -321,7 +355,17 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         if config.watchdog_interval is not None
         else 200.0 * unit
     )
-    budget = config.max_sim_time if config.max_sim_time is not None else 0.05
+    if config.max_sim_time is not None:
+        budget = config.max_sim_time
+    elif config.scenario == "crash_root" and not config.failover:
+        # Negative control: with no failover manager the group's
+        # sequencer is gone for good.  Client retries would only raise
+        # LockTimeoutError after ~4100 units of backoff; a tight budget
+        # makes the watchdog's StallError fire first, deterministically
+        # (normal failover runs converge well under this).
+        budget = 1000.0 * unit
+    else:
+        budget = 0.05
     watchdog = Watchdog(
         machine.sim, interval=interval, max_sim_time=budget, patience=3
     )

@@ -19,10 +19,16 @@ state replayed from each group root's authoritative image
 (re-insharing), with its apply stream cursor fast-forwarded to the
 root's current sequence number.  The transfer is modelled as
 out-of-band (no wire cost) — the interesting dynamics are in the
-protocol recovery around it, not in the bulk copy.  Root engines keep
-their state across a root crash (stable storage); the failure mode a
-root crash exercises is the *unreachability* window, which requesters
-ride out with timeouts and retries.
+protocol recovery around it, not in the bulk copy.
+
+A *root* crash takes the group's sequencer and lock manager down with
+it.  With a :class:`~repro.faults.failover.RootFailoverManager`
+installed (see :meth:`add_crash_listener`), a successor is elected and
+the sequencer state reconstructed from member evidence; without one, a
+root crash is unrecoverable — requesters ride out the unreachability
+window with timeouts and retries until their budgets exhaust, and a
+restart that would need the dead root as its re-inshare source raises
+:class:`~repro.errors.RootFailoverError` instead of hanging.
 """
 
 from __future__ import annotations
@@ -43,8 +49,10 @@ from repro.faults.plan import (
 )
 from repro.net.message import Message
 
-#: A crash aimed at ``holder_of=<lock>`` retries this many times (at
-#: short intervals) waiting for the lock to have a holder.
+#: A crash aimed at ``holder_of=<lock>`` (or ``root_of=<group>``)
+#: retries this many times (at short intervals) waiting for the lock to
+#: have a holder; a restart blocked on a crashed root retries on the
+#: same cadence waiting for failover to install a successor.
 _HOLDER_RETRIES = 100_000
 _HOLDER_RETRY_INTERVAL = 2e-6
 
@@ -72,6 +80,11 @@ class FaultInjector:
         #: factories to call on restart.
         self._tracked: dict[int, list["Process"]] = {}  # noqa: F821
         self._respawn: dict[int, Callable[[], None]] = {}
+        #: Crash observers (the root failover manager registers here).
+        self._crash_listeners: list[Callable[[int], None]] = []
+        #: Set by :meth:`RootFailoverManager.install`; gates the
+        #: restart-past-a-dead-root retry path.
+        self.failover_manager: Any = None
         #: Fault/recovery observations.
         self.crashes = 0
         self.restarts = 0
@@ -105,6 +118,10 @@ class FaultInjector:
     def register_respawn(self, node: int, fn: Callable[[], None]) -> None:
         """Register a callback invoked after ``node`` restarts."""
         self._respawn[node] = fn
+
+    def add_crash_listener(self, fn: Callable[[int], None]) -> None:
+        """Register ``fn(node)`` to run whenever a node crashes."""
+        self._crash_listeners.append(fn)
 
     def is_crashed(self, node: int) -> bool:
         return node in self.crashed
@@ -191,8 +208,10 @@ class FaultInjector:
         if kind == CRASH:
             if event.node is not None:
                 self.crash_node(event.node)
-            else:
+            elif event.holder_of is not None:
                 self._crash_holder(event.holder_of, _HOLDER_RETRIES)
+            else:
+                self._crash_root(event.root_of, _HOLDER_RETRIES)
         elif kind == RESTART:
             self.restart_node(event.node)
         elif kind == PARTITION:
@@ -245,6 +264,46 @@ class FaultInjector:
             partial(self._crash_holder, lock, budget - 1),
         )
 
+    def _crash_root(self, group_name: str, budget: int) -> None:
+        """Crash ``group_name``'s current root mid-critical-section.
+
+        Fires once one of the group's locks is held by a live non-root
+        member (retrying briefly otherwise), so the crash lands in the
+        window where the failover protocol has real lock state to
+        reconstruct — a holder mid-section plus, usually, in-flight
+        requests.  ``group.root`` is read at fire time, so after an
+        earlier failover this targets the successor.
+        """
+        from repro.memory.varspace import grant_value
+
+        group = self.machine.groups.get(group_name)
+        if group is None:
+            raise FaultError(f"crash(root_of=...): no group {group_name!r}")
+        root = group.root
+        if root not in self.crashed:
+            engine = self.machine.nodes[root].iface.root_engines.get(group_name)
+            managers = engine.lock_managers.values() if engine else ()
+            for manager in managers:
+                holder = manager.holder
+                if (
+                    holder is not None
+                    and holder != root
+                    and holder not in self.crashed
+                    and self.machine.nodes[holder].store.read(manager.decl.name)
+                    == grant_value(holder)
+                ):
+                    self.crash_node(root)
+                    return
+        if budget <= 0:
+            raise FaultError(
+                f"crash(root_of={group_name!r}): no lock of the group was "
+                "ever held by a live non-root member"
+            )
+        self.sim.schedule(
+            _HOLDER_RETRY_INTERVAL,
+            partial(self._crash_root, group_name, budget - 1),
+        )
+
     def _find_manager(self, lock: str) -> Any:
         for engine in self._root_engines():
             manager = engine.lock_managers.get(lock)
@@ -267,15 +326,52 @@ class FaultInjector:
             checker.node_crashed(node, now)
         if self.sim.trace_enabled:
             self.sim.tracer.record(now, "fault.crash", node=node)
+        for listener in self._crash_listeners:
+            listener(node)
 
     def restart_node(self, node: int) -> None:
-        """Bring a crashed node back with freshly re-inshared group state."""
+        """Bring a crashed node back with freshly re-inshared group state.
+
+        Re-insharing needs a live authoritative source per group.  When
+        a group's root is itself crashed, the restart waits (retrying)
+        for the failover manager to install a successor, then replays
+        from the successor under its epoch; with no failover manager
+        there is nothing to wait for and the restart fails with a clear
+        :class:`~repro.errors.RootFailoverError` instead of hanging.
+        """
         if node not in self.crashed:
             raise FaultError(f"restart of node {node}, which is not crashed")
-        self.crashed.discard(node)
-        self.restarts += 1
+        self._restart_attempt(node, _HOLDER_RETRIES)
+
+    def _restart_attempt(self, node: int, budget: int) -> None:
+        from repro.errors import RootFailoverError
+
         handle = self.machine.nodes[node]
         iface = handle.iface
+        dead_roots = sorted(
+            group.name
+            for group in iface.groups.values()
+            if group.root != node and group.root in self.crashed
+        )
+        if dead_roots:
+            if self.failover_manager is None:
+                raise RootFailoverError(
+                    f"cannot restart node {node}: the root(s) of group(s) "
+                    f"{dead_roots} are crashed and no failover manager is "
+                    "installed, so no live source exists to re-inshare from"
+                )
+            if budget <= 0:
+                raise RootFailoverError(
+                    f"restart of node {node} gave up waiting for failover "
+                    f"of group(s) {dead_roots}"
+                )
+            self.sim.schedule(
+                _HOLDER_RETRY_INTERVAL,
+                partial(self._restart_attempt, node, budget - 1),
+            )
+            return
+        self.crashed.discard(node)
+        self.restarts += 1
         iface._suspended = False
         iface._suspended_queue.clear()
         iface._interrupts.clear()
@@ -283,11 +379,19 @@ class FaultInjector:
             engine = self.machine.root_engine(group_name)
             # Replay the authoritative image (re-insharing) and fast-
             # forward the apply cursor so the node rejoins the sequenced
-            # stream at the root's current position.
+            # stream at the root's current position — under the root's
+            # current epoch, which after a failover is the successor's.
             for var in list(group.variables) + list(group.locks):
                 handle.store.declare(var, engine.authoritative_read(var))
             iface._reorder[group_name].clear()
             iface._next_seq[group_name] = engine.sequenced
+            iface._epoch[group_name] = engine.epoch
+            if iface.nack_timeout is not None:
+                for var in list(group.variables) + list(group.locks):
+                    iface._applied[var] = engine.authoritative_read(var)
+                for lock in group.locks:
+                    iface._applied_lock_seq[lock] = engine.sequenced
+                iface._last_root[group_name] = group.root
         for engine in self._root_engines():
             engine.emit_heartbeat()
         respawn = self._respawn.get(node)
@@ -348,4 +452,13 @@ class FaultInjector:
             "inflight_dropped": self.inflight_dropped,
             "lock_reclaims": self.lock_reclaims,
             "recovery_times": tuple(self.recovery_times),
+            "failovers": stats.failovers,
+            "stale_epoch_discards": stats.stale_epoch_discards,
+            "rerouted_requests": stats.rerouted_requests,
+            "window_discards": sum(
+                engine.window_discards for engine in self._root_engines()
+            ),
+            "declined_regrants": sum(
+                node.iface.declined_regrants for node in self.machine.nodes
+            ),
         }

@@ -47,9 +47,13 @@ class FaultEvent:
     time: float
     kind: str
     #: crash/restart: the target node.  A crash may instead name a lock
-    #: via ``holder_of`` to hit whichever node holds it at fire time.
+    #: via ``holder_of`` to hit whichever node holds it at fire time, or
+    #: a sharing group via ``root_of`` to hit the group's *current* root
+    #: (the sequencer/lock-manager node) — the canonical trigger for the
+    #: root-failover protocol.
     node: int | None = None
     holder_of: str | None = None
+    root_of: str | None = None
     #: partition/heal: one side of the cut (messages crossing the
     #: boundary are dropped in both directions).
     nodes: tuple[int, ...] = ()
@@ -85,9 +89,13 @@ class FaultEvent:
                 f"{self.probability}"
             )
         if self.kind == CRASH:
-            if (self.node is None) == (self.holder_of is None):
+            targets = sum(
+                t is not None for t in (self.node, self.holder_of, self.root_of)
+            )
+            if targets != 1:
                 raise FaultError(
-                    "crash fault needs exactly one of node= or holder_of="
+                    "crash fault needs exactly one of node=, holder_of=, "
+                    "or root_of="
                 )
         elif self.kind == RESTART:
             if self.node is None:
@@ -154,15 +162,24 @@ class FaultPlan:
 
 
 def crash(
-    time: float, node: int | None = None, holder_of: str | None = None
+    time: float,
+    node: int | None = None,
+    holder_of: str | None = None,
+    root_of: str | None = None,
 ) -> FaultEvent:
     """Crash a node: kill its processes, drop its traffic both ways.
 
     Name a fixed ``node``, or ``holder_of=<lock>`` to crash whichever
     node holds that lock when the fault fires (retrying briefly if the
     lock is momentarily free) — the canonical mid-critical-section kill.
+    ``root_of=<group>`` instead crashes the group's current root while
+    one of the group's locks is held by a live non-root member, which is
+    the trigger for sequencer re-election and lock-state reconstruction
+    (see :mod:`repro.faults.failover`).
     """
-    return FaultEvent(time=time, kind=CRASH, node=node, holder_of=holder_of)
+    return FaultEvent(
+        time=time, kind=CRASH, node=node, holder_of=holder_of, root_of=root_of
+    )
 
 
 def restart(time: float, node: int) -> FaultEvent:

@@ -140,6 +140,18 @@ class OptimisticMutexRunner:
 
         history = self.history(node.id, lock)
 
+        # Root-failover fencing: active only with a failover manager
+        # installed.  A sequencer epoch change voids this request's
+        # speculation — the old root's answer (and any speculative
+        # writes it accepted) died with it, and the new root discards
+        # old-epoch traffic — so an epoch change is handled exactly
+        # like a conflict: roll back and re-run on the regular path.
+        fence_group: str | None = None
+        entry_epoch = 0
+        if self.system.machine.failover_manager is not None:
+            fence_group = iface.group_of(lock).name
+            entry_epoch = iface._epoch[fence_group]
+
         # (02)-(04) request the lock; atomic with reading the old value.
         old_val = iface.atomic_exchange(lock, request_value(node.id))
         node.metrics.count("lock.requests")
@@ -156,6 +168,23 @@ class OptimisticMutexRunner:
 
         def handler(value: Any) -> None:
             # Insharing is suspended and the interrupt disarmed on entry.
+            if (
+                fence_group is not None
+                and not verdict.resolved
+                and iface._epoch[fence_group] != entry_epoch
+            ):
+                # First lock write under a new sequencer epoch (often the
+                # takeover's rebuilt grant): abort the speculation even
+                # if the write names this node — accepting a new-epoch
+                # grant would commit writes the old root discarded.
+                node.metrics.count("opt.epoch_conflicts")
+                if state["saved"]:
+                    verdict.resolve(_CONFLICT)
+                    abort.fire(_CONFLICT)
+                else:
+                    iface.resume_insharing()
+                    verdict.resolve(_CONFLICT_UNSAVED)
+                return
             if value == mine:
                 state["grant_seen"] = sim.now
                 iface.resume_insharing()
@@ -233,6 +262,18 @@ class OptimisticMutexRunner:
         if not verdict.resolved:
             yield verdict
         answer = verdict.value
+        if (
+            answer == _GRANTED
+            and fence_group is not None
+            and iface._epoch[fence_group] != entry_epoch
+        ):
+            # Granted under the old epoch, then the root failed over
+            # before commit: the speculative writes' fate is ambiguous,
+            # so take the conflict path (the rebuilt lock table re-grants
+            # from this node's own evidence, so the regular re-run
+            # proceeds without a new round trip).
+            node.metrics.count("opt.epoch_conflicts")
+            answer = _CONFLICT
 
         if answer == _GRANTED:
             # (21) -> (27): speculation succeeded; all computation was

@@ -28,6 +28,7 @@ from typing import Any, Callable
 from repro.errors import MemoryError_, SequencingError
 from repro.memory.packet_filter import HardwareBlockingFilter
 from repro.memory.sharing_group import SharingGroup
+from repro.memory.varspace import FREE_VALUE, grant_value, request_value
 from repro.memory.store import LocalStore
 from repro.net.message import Message
 from repro.net.network import Network
@@ -65,6 +66,12 @@ class UpdateRequest:
     var: str
     value: Any
     origin: int
+    #: Sequencer epoch the origin had adopted when it issued the write.
+    #: A root sequences only current-epoch requests; anything stamped
+    #: with an older epoch was issued into the failover window and is
+    #: discarded exactly like a non-holder's speculative write (§4) —
+    #: the origin re-issues against the new root after adopting it.
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,6 +88,20 @@ class ApplyPacket:
     #: True on NACK-triggered retransmissions (never dropped by the
     #: loss model; duplicates of it are tolerated).
     retransmit: bool = False
+    #: Root-failover fencing (see :mod:`repro.faults.failover`): the
+    #: group's sequencer epoch this packet was stamped under, and the
+    #: first sequence number of that epoch.  Members discard packets
+    #: from epochs older than the one they have adopted; a packet from
+    #: a *newer* epoch makes them adopt it and rewind their cursor to
+    #: ``epoch_start`` so the normal NACK path fills anything missed.
+    epoch: int = 0
+    epoch_start: int = 0
+    #: True on lock writes a failover successor synthesized from member
+    #: evidence rather than from a live request/release.  A member that
+    #: receives a rebuilt grant *for itself* that it no longer wants
+    #: (it already released, but the release died with the old root)
+    #: declines it by re-sharing FREE instead of silently holding.
+    rebuilt: bool = False
 
 
 class NodeInterface:
@@ -107,6 +128,8 @@ class NodeInterface:
         self.root_engines: dict[str, Any] = {}
         self._next_seq: dict[str, int] = {}
         self._reorder: dict[str, dict[int, ApplyPacket]] = {}
+        #: Highest sequencer epoch adopted per group (root failover).
+        self._epoch: dict[str, int] = {}
         self._suspended = False
         self._suspended_queue: list[ApplyPacket] = []
         self._interrupts: dict[str, LockInterruptHandler] = {}
@@ -115,11 +138,23 @@ class NodeInterface:
         #: and duplicate (retransmitted) packets are tolerated.
         self.nack_timeout = nack_timeout
         self._gap_check_pending: set[str] = set()
+        #: Failover evidence (maintained only when reliability is on):
+        #: the last *sequenced* value this node applied per variable —
+        #: unlike the store it never contains speculative local writes,
+        #: so a reconstruction quorum can adopt it wholesale — plus the
+        #: sequence number of the last applied write per lock (claim
+        #: tie-breaking) and the root each group's writes last targeted
+        #: (re-route accounting).
+        self._applied: dict[str, Any] = {}
+        self._applied_lock_seq: dict[str, int] = {}
+        self._last_root: dict[str, int] = {}
         #: Diagnostics.
         self.applied_count = 0
         self.duplicates_ignored = 0
         self.nacks_sent = 0
         self.suppressed_applies = 0
+        self.stale_epoch_discards = 0
+        self.declined_regrants = 0
 
     # ------------------------------------------------------------------
     # Group membership
@@ -134,6 +169,7 @@ class NodeInterface:
         self.groups[group.name] = group
         self._next_seq.setdefault(group.name, 0)
         self._reorder.setdefault(group.name, {})
+        self._epoch.setdefault(group.name, 0)
         for name, value in group.initial_image().items():
             self.store.declare(name, value)
 
@@ -168,8 +204,16 @@ class NodeInterface:
         return old
 
     def _forward_to_root(self, group: SharingGroup, var: str, value: Any) -> None:
+        epoch = 0
+        if self.nack_timeout is not None:
+            epoch = self._epoch[group.name]
+            last = self._last_root.get(group.name)
+            if last != group.root:
+                if last is not None:
+                    self.network.stats.rerouted_requests += 1
+                self._last_root[group.name] = group.root
         request = UpdateRequest(
-            group=group.name, var=var, value=value, origin=self.node
+            group=group.name, var=var, value=value, origin=self.node, epoch=epoch
         )
         self.network.send(
             Message(
@@ -293,6 +337,7 @@ class NodeInterface:
         if (
             expected is not None
             and packet.seq == expected
+            and packet.epoch == self._epoch[group]
             and not self._reorder[group]
             and not self._suspended
         ):
@@ -349,6 +394,16 @@ class NodeInterface:
             raise MemoryError_(
                 f"node {self.node} got apply for unjoined group {group!r}"
             )
+        current_epoch = self._epoch[group]
+        if packet.epoch != current_epoch:
+            if packet.epoch < current_epoch:
+                # Fencing: a deposed sequencer's packet (or a stale
+                # retransmission from before the failover) must not
+                # overwrite state the new epoch already refreshed.
+                self._note_stale_epoch()
+                return
+            self._adopt_epoch(group, packet.epoch, packet.epoch_start)
+            expected = self._next_seq[group]
         if packet.seq == expected and not self._reorder[group]:
             # In-order arrival with nothing buffered — the overwhelmingly
             # common case on lossless FIFO channels.  Skip the reorder
@@ -380,6 +435,46 @@ class NodeInterface:
                 self._process(next_packet)
         if reorder and self.nack_timeout is not None:
             self._schedule_gap_check(packet.group)
+
+    # ------------------------------------------------------------------
+    # Sequencer-epoch fencing (root failover)
+    # ------------------------------------------------------------------
+
+    def _note_stale_epoch(self, count: int = 1) -> None:
+        self.stale_epoch_discards += count
+        self.network.stats.stale_epoch_discards += count
+        if self.sim.trace_enabled:
+            self.sim.tracer.record(
+                self.sim.now, "iface.stale_epoch", node=self.node, count=count
+            )
+
+    def _adopt_epoch(self, group: str, epoch: int, epoch_start: int) -> None:
+        """Switch to a newer sequencer epoch announced by a new root.
+
+        Anything still buffered from the old sequencer is fenced out,
+        and the apply cursor moves to the new epoch's first sequence
+        number: the takeover refresh (which re-sequences every variable
+        and lock starting exactly there) subsumes any tail of the old
+        epoch this member missed.  A gap *within* the new epoch is
+        recovered by the ordinary NACK path — the new root's history
+        starts at ``epoch_start``.
+        """
+        self._epoch[group] = epoch
+        reorder = self._reorder[group]
+        if reorder:
+            self._note_stale_epoch(len(reorder))
+            reorder.clear()
+        if self._next_seq[group] < epoch_start:
+            self._next_seq[group] = epoch_start
+        if self.sim.trace_enabled:
+            self.sim.tracer.record(
+                self.sim.now,
+                "iface.epoch_adopted",
+                node=self.node,
+                group=group,
+                epoch=epoch,
+                epoch_start=epoch_start,
+            )
 
     # ------------------------------------------------------------------
     # Reliable-multicast recovery (NACK + heartbeat)
@@ -428,10 +523,21 @@ class NodeInterface:
                 from_seq=self._next_seq[group],
             )
 
-    def _on_heartbeat(self, group: str, latest_seq: int) -> None:
+    def _on_heartbeat(
+        self,
+        group: str,
+        latest_seq: int,
+        epoch: int = 0,
+        epoch_start: int = 0,
+    ) -> None:
         """Root heartbeat: detect tail loss (a gap nothing follows)."""
         if self.nack_timeout is None or group not in self._next_seq:
             return
+        current_epoch = self._epoch[group]
+        if epoch < current_epoch:
+            return  # A deposed root's trailing heartbeat: ignore.
+        if epoch > current_epoch:
+            self._adopt_epoch(group, epoch, epoch_start)
         if self._next_seq[group] <= latest_seq:
             self._send_nack(group)
 
@@ -442,6 +548,36 @@ class NodeInterface:
             # number is consumed, the stale local value stays.
             self.suppressed_applies += 1
             return
+        if self.nack_timeout is not None:
+            # Failover evidence: record the sequenced value *before* the
+            # echo filter so a holder's own committed writes are part of
+            # its image (the store diverges — the origin applied the
+            # write locally at issue time, possibly speculatively).
+            self._applied[packet.var] = packet.value
+            if packet.is_lock:
+                self._applied_lock_seq[packet.var] = packet.seq
+                if packet.rebuilt and packet.value == grant_value(self.node):
+                    local = self.store.read(packet.var)
+                    if local != packet.value and local != request_value(
+                        self.node
+                    ):
+                        # A rebuilt grant for a lock this node neither
+                        # holds nor wants: its release died with the old
+                        # root after the evidence was captured.  Decline
+                        # by re-sharing FREE so the new root passes the
+                        # lock on instead of leasing it to an unwilling
+                        # holder.
+                        self.declined_regrants += 1
+                        if self.sim.trace_enabled:
+                            self.sim.tracer.record(
+                                self.sim.now,
+                                "iface.regrant_declined",
+                                node=self.node,
+                                lock=packet.var,
+                                seq=packet.seq,
+                            )
+                        self.share_write(packet.var, FREE_VALUE)
+                        return
         # Inlined HardwareBlockingFilter.should_drop (Figure 6): drop a
         # root echo of this node's own mutex-group data.  Kept branch-
         # for-branch identical so ``filter.dropped`` stays exact.

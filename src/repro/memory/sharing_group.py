@@ -54,6 +54,25 @@ class SharingGroup:
     def has_member(self, node: int) -> bool:
         return node in set(self.members)
 
+    def retarget_root(self, new_root: int, start_seq: int = 0) -> None:
+        """Re-root the group on a failover successor.
+
+        The group object is shared by reference across every member's
+        interface, so updating ``root`` and rebuilding the spanning
+        tree re-routes all future origin->root traffic at once.  The
+        new tree's sequence counter starts at ``start_seq`` (the
+        reconstruction quorum's ``max + 1``), not zero.
+        """
+        if not self.has_member(new_root):
+            raise GroupMembershipError(
+                f"group {self.name!r}: failover root {new_root} is not a "
+                f"member of {self.members}"
+            )
+        self.root = new_root
+        self.tree = MulticastTree(
+            self.tree.network, new_root, self.members, start_seq=start_seq
+        )
+
     def declare_variable(self, decl: VarDecl) -> VarDecl:
         """Register a shared variable on this group."""
         if decl.group != self.name:

@@ -85,6 +85,9 @@ def channel_stats_summary(stats: "ChannelStats") -> dict[str, int]:  # noqa: F82
         "fault_dropped": stats.fault_dropped,
         "fault_delayed": stats.fault_delayed,
         "fault_duplicated": stats.fault_duplicated,
+        "stale_epoch_discards": stats.stale_epoch_discards,
+        "rerouted_requests": stats.rerouted_requests,
+        "failovers": stats.failovers,
     }
 
 

@@ -23,6 +23,13 @@ from repro.net.message import Message
 #: Message kinds subject to loss by default.
 DEFAULT_LOSSY_KINDS = frozenset({"gwc.apply"})
 
+#: Root-failover control traffic (election queries and evidence
+#: replies).  Reliable by default like all control traffic; experiments
+#: opt in via ``lossy_failover=True`` to exercise the query resend path.
+#: Resent queries/replies carry ``retransmit=True`` and stay exempt, so
+#: recovery is still bounded.
+FAILOVER_CONTROL_KINDS = frozenset({"failover.query", "failover.reply"})
+
 
 class LossModel:
     """Seeded random dropper for selected message kinds."""
@@ -32,11 +39,14 @@ class LossModel:
         rate: float,
         rng: random.Random,
         lossy_kinds: frozenset[str] = DEFAULT_LOSSY_KINDS,
+        lossy_failover: bool = False,
     ) -> None:
         if not 0.0 <= rate < 1.0:
             raise NetworkError(f"loss rate must be in [0, 1): {rate}")
         self.rate = rate
         self.rng = rng
+        if lossy_failover:
+            lossy_kinds = frozenset(lossy_kinds) | FAILOVER_CONTROL_KINDS
         self.lossy_kinds = lossy_kinds
         #: Count of messages dropped (diagnostics / tests).
         self.dropped = 0

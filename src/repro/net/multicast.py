@@ -18,7 +18,13 @@ from repro.net.spanning_tree import SpanningTree, build_bfs_tree
 class MulticastTree:
     """Root-sequenced multicast over a sharing group's spanning tree."""
 
-    def __init__(self, network: Network, root: int, members: tuple[int, ...]) -> None:
+    def __init__(
+        self,
+        network: Network,
+        root: int,
+        members: tuple[int, ...],
+        start_seq: int = 0,
+    ) -> None:
         self.network = network
         self.root = root
         self.tree: SpanningTree = build_bfs_tree(network.topology, root, members)
@@ -27,7 +33,10 @@ class MulticastTree:
         self._nonroot_members = tuple(
             member for member in self.tree.members if member != root
         )
-        self._next_seq = 0
+        #: Next group-global sequence number.  A failover successor's
+        #: tree starts where the reconstruction quorum left off rather
+        #: than at zero (see :mod:`repro.faults.failover`).
+        self._next_seq = start_seq
 
     @property
     def members(self) -> tuple[int, ...]:

@@ -55,6 +55,13 @@ class ChannelStats:
     fault_delayed: int = 0
     #: Extra delivery copies created by duplicate faults.
     fault_duplicated: int = 0
+    #: Root-failover counters: apply/heartbeat packets fenced out by
+    #: members because they carried a superseded sequencer epoch,
+    #: origin writes and lock requests re-issued toward a new root
+    #: after its election, and completed root failovers.
+    stale_epoch_discards: int = 0
+    rerouted_requests: int = 0
+    failovers: int = 0
     by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     #: Messages received per node — the load metric that exposes
     #: hot-spots such as an overloaded global root.

@@ -1,0 +1,176 @@
+"""Root failover end to end: crash the sequencer, keep the invariants.
+
+The acceptance story for the failover subsystem: a chaos run that kills
+a group root while another node holds the lock must re-elect a
+sequencer, rebuild the lock table from member evidence, and still pass
+the mutual-exclusion / RMW-chain / convergence invariants — all
+byte-identically per seed.  The ``--no-failover`` negative control must
+end in the watchdog's StallError, not a hang.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine import DSMMachine
+from repro.errors import RootFailoverError
+from repro.faults.chaos import ChaosConfig, run_chaos
+from repro.faults.failover import RootFailoverManager
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, crash, restart
+from repro.workloads import counter as counter_wl
+
+
+def _unit() -> float:
+    """The recovery unit run_chaos derives (the machine's NACK timeout)."""
+    return DSMMachine(n_nodes=6, reliable=True).nack_timeout
+
+
+class TestCrashRootAcceptance:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("system", ["gwc", "gwc_optimistic"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_root_crash_converges(self, system, seed):
+        result = run_chaos(
+            ChaosConfig(system=system, scenario="crash_root", seed=seed)
+        )
+        assert result.ok, (result.stall, result.invariant_errors)
+        assert result.converged
+        assert result.final_counter == result.chain_length
+        assert result.fault_summary["failovers"] == 1
+        # Every surviving client re-routed to the successor at least once.
+        assert result.fault_summary["rerouted_requests"] > 0
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("system", ["gwc", "gwc_optimistic"])
+    def test_same_seed_is_byte_identical(self, system):
+        config = ChaosConfig(system=system, scenario="crash_root", seed=3)
+        first = run_chaos(config)
+        second = run_chaos(config)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.fault_summary == second.fault_summary
+
+    def test_negative_control_stalls_without_failover(self):
+        result = run_chaos(
+            ChaosConfig(
+                system="gwc", scenario="crash_root", seed=0, failover=False
+            )
+        )
+        assert not result.ok
+        assert result.stall is not None
+        assert "budget" in result.stall
+
+    def test_lossy_failover_control_still_converges(self):
+        # Election queries/replies ride the lossy fabric; retransmitted
+        # rounds (exempt from loss) must still assemble the quorum.
+        result = run_chaos(
+            ChaosConfig(
+                system="gwc",
+                scenario="crash_root",
+                seed=1,
+                loss_rate=0.3,
+                lossy_failover=True,
+            )
+        )
+        assert result.ok, (result.stall, result.invariant_errors)
+        assert result.fault_summary["failovers"] == 1
+
+
+class TestRestartAgainstCrashedRoot:
+    @pytest.mark.slow
+    def test_old_root_restarts_as_member_of_successor(self):
+        unit = _unit()
+        plan = FaultPlan(
+            [
+                crash(10 * unit, root_of=counter_wl.GROUP),
+                restart(200 * unit, node=0),
+            ],
+            seed=0,
+        )
+        result = run_chaos(
+            ChaosConfig(system="gwc", scenario="crash_root", seed=0, plan=plan)
+        )
+        assert result.ok, (result.stall, result.invariant_errors)
+        # The restarted ex-root redid its unfinished ops, so every one
+        # of the 6x8 increments landed.
+        assert result.final_counter == 48
+        assert result.fault_summary["restarts"] == 1
+
+    @pytest.mark.slow
+    def test_member_restart_waits_for_failover(self):
+        # Crash a member, then the root: the member's restart must retry
+        # until the successor exists, then re-inshare under its epoch.
+        unit = _unit()
+        plan = FaultPlan(
+            [
+                crash(10 * unit, node=5),
+                crash(12 * unit, root_of=counter_wl.GROUP),
+                restart(14 * unit, node=5),
+            ],
+            seed=0,
+        )
+        result = run_chaos(
+            ChaosConfig(system="gwc", scenario="crash_root", seed=0, plan=plan)
+        )
+        assert result.ok, (result.stall, result.invariant_errors)
+        assert result.fault_summary["restarts"] == 1
+        assert result.fault_summary["failovers"] == 1
+
+    def test_restart_without_failover_manager_fails_fast(self):
+        machine = DSMMachine(n_nodes=4, reliable=True)
+        machine.create_group("g")
+        machine.declare_variable("g", "v", 0)
+        injector = FaultInjector(machine, FaultPlan([], seed=0))
+        injector.install()
+        injector.crash_node(2)  # member
+        injector.crash_node(0)  # root of "g"
+        with pytest.raises(RootFailoverError, match="no live source"):
+            injector.restart_node(2)
+
+
+class TestElectionDetails:
+    def _crashed_root_machine(self):
+        machine = DSMMachine(n_nodes=4, reliable=True)
+        machine.create_group("g")
+        machine.declare_variable("g", "v", 7)
+        injector = FaultInjector(machine, FaultPlan([], seed=0))
+        injector.install()
+        manager = RootFailoverManager(machine, injector)
+        manager.install()
+        return machine, injector, manager
+
+    def test_successor_is_lowest_live_member(self):
+        machine, injector, manager = self._crashed_root_machine()
+        injector.crash_node(1)
+        injector.crash_node(0)
+        machine.run()
+        assert manager.takeovers == 1
+        assert machine.groups["g"].root == 2
+        engine = machine.root_engine("g")
+        assert engine.epoch == 1
+        assert engine.authoritative_read("v") == 7
+
+    def test_members_adopt_the_new_epoch(self):
+        machine, injector, manager = self._crashed_root_machine()
+        injector.crash_node(0)
+        machine.run()
+        for node in machine.nodes[1:]:
+            assert node.iface._epoch["g"] == 1
+
+    def test_cascaded_root_crash_fails_over_again(self):
+        # The first successor itself crashes right after taking over;
+        # a second election moves the group to the next member, one
+        # epoch further on.
+        machine, injector, manager = self._crashed_root_machine()
+        injector.crash_node(0)
+        machine.sim.schedule(
+            manager.detection_delay + manager.query_timeout / 2,
+            lambda: injector.crash_node(1),
+        )
+        machine.run()
+        assert machine.groups["g"].root == 2
+        assert manager.elections == 2
+        assert manager.takeovers == 2
+        assert machine.root_engine("g").epoch == 2
+        for node in machine.nodes[2:]:
+            assert node.iface._epoch["g"] == 2

@@ -93,6 +93,9 @@ class TestChannelStatsExport:
             "fault_dropped": 2,
             "fault_delayed": 4,
             "fault_duplicated": 5,
+            "failovers": 0,
+            "stale_epoch_discards": 0,
+            "rerouted_requests": 0,
         }
 
     def test_rows_cover_every_node_seen(self):

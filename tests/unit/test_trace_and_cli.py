@@ -115,7 +115,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Chaos soak" in out
         assert "crash_holder" in out
-        assert "7/7 run(s) ok" in out
+        assert "9/9 run(s) ok" in out
         assert csv_path.read_text().startswith("system,workload,scenario")
 
     def test_chaos_single_scenario(self, capsys):
