@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test chaos-smoke failover-smoke bench bench-full bench-json perf-smoke examples figures all clean
+.PHONY: install test chaos-smoke failover-smoke bench bench-full bench-json perf-smoke profile examples figures all clean
 
 install:
 	$(PY) setup.py develop
@@ -36,6 +36,17 @@ bench-json:
 # Fail if the quick Figure 8 sweep regressed >25% vs BENCH_kernel.json.
 perf-smoke:
 	PYTHONPATH=src $(PY) benchmarks/test_perf_kernel.py --smoke
+
+# cProfile the quick Figure 2 + Figure 8 sweeps and print the top 20
+# hot spots by cumulative time (see docs/REPRODUCING.md, Performance).
+profile:
+	PYTHONPATH=src $(PY) -c "\
+	import cProfile, pstats; \
+	from repro.experiments.figure2 import run_figure2; \
+	from repro.experiments.figure8 import run_figure8; \
+	p = cProfile.Profile(); \
+	p.enable(); run_figure2(); run_figure8(); p.disable(); \
+	pstats.Stats(p).sort_stats('cumulative').print_stats(20)"
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PY) $$script; done

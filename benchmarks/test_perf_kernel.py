@@ -5,10 +5,16 @@ single machine-readable snapshot of the numbers the performance work
 targets:
 
 * raw event-loop throughput (events/second),
-* network delivery throughput (messages/second),
+* network delivery throughput (messages/second), point-to-point and
+  packet-train batched (the train figure must be at least 1.5x the
+  unbatched one — that is the headline of the batching work),
 * quick-scale Figure 2 + Figure 8 sweep wall-clock, serial and with
   ``jobs=4`` workers,
-* the speedup over the pre-optimization seed baseline.
+* deterministic write-burst ablation rows (wire messages at burst
+  1 / 8 / unbounded — simulation counts, not timings),
+* the speedup over the pre-optimization seed baseline,
+* a host fingerprint (CPU model + core count) so snapshots from
+  different machines are never diffed against each other by accident.
 
 Run ``make bench-json`` to (re)generate ``BENCH_kernel.json`` at the
 repo root, and ``make perf-smoke`` to fail the build if the quick
@@ -101,6 +107,83 @@ def measure_messages_per_sec(
     return total_messages / _best_of(drain)
 
 
+def measure_messages_per_sec_batched(
+    n_nodes: int = 8, train_len: int = 16, total_messages: int = 100_000
+) -> float:
+    """Fanout delivery throughput with packet trains.
+
+    The root repeatedly ships a ``train_len``-packet train to every
+    other node — the shape of a sequenced write burst leaving a group
+    root.  Each (member, train) pair costs one heap event instead of
+    ``train_len``, which is where the batched figure's advantage over
+    :func:`measure_messages_per_sec` comes from; the logical message
+    count (and every ChannelStats counter) is identical to per-message
+    sends.
+    """
+    from repro.net.network import Network
+    from repro.net.topology import make_topology
+    from repro.params import DEFAULT_PACKET_BYTES, PAPER_PARAMS
+    from repro.sim.kernel import Simulator
+
+    targets = tuple(range(1, n_nodes))
+    rounds = max(1, total_messages // (train_len * len(targets)))
+    delivered = rounds * train_len * len(targets)
+    payloads = [None] * train_len
+    sizes = [DEFAULT_PACKET_BYTES] * train_len
+
+    def drain() -> None:
+        sim = Simulator()
+        net = Network(sim, make_topology("mesh_torus", n_nodes), PAPER_PARAMS)
+        for node in range(n_nodes):
+            net.attach(node, lambda msg: None)
+        sent = [0]
+
+        def pump() -> None:
+            net.send_fanout_train(0, targets, "bench.train", payloads, sizes)
+            sent[0] += 1
+            if sent[0] < rounds:
+                sim.schedule_fn(0.0, pump)
+
+        sim.schedule_fn(0.0, pump)
+        sim.run()
+
+    return delivered / _best_of(drain)
+
+
+def measure_burst_ablation() -> list[dict]:
+    """Deterministic wire-message counts at burst 1 / 8 / unbounded.
+
+    These are simulation counters, not wall-clock timings, so the rows
+    are bit-stable across hosts — they document what the write-burst
+    knob buys on the producer workload.
+    """
+    from repro.experiments.burst import run_burst_sweep
+
+    rows = run_burst_sweep(sizes=(1, 8, 0), n_nodes=8, rounds=4, writes_per_round=16)
+    return [
+        {
+            "burst": "unbounded" if row.burst == 0 else row.burst,
+            "origin_messages": row.origin_messages,
+            "total_messages": row.total_messages,
+            "total_bytes": row.total_bytes,
+            "reduction": row.reduction,
+        }
+        for row in rows
+    ]
+
+
+def _cpu_model() -> str:
+    """Best-effort CPU model string for the host fingerprint."""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
 def _quick_figure2() -> None:
     from repro.experiments.figure2 import run_figure2
 
@@ -125,20 +208,30 @@ def collect_snapshot() -> dict:
     """Measure everything and return the BENCH_kernel.json payload."""
     events_per_sec = measure_events_per_sec()
     messages_per_sec = measure_messages_per_sec()
+    messages_per_sec_batched = measure_messages_per_sec_batched()
+    burst_ablation = measure_burst_ablation()
     figure2_s = _best_of(_quick_figure2)
     figure8_s = _best_of(_quick_figure8)
     combined_serial_s = _best_of(_quick_combined)
     combined_jobs4_s = _best_of(lambda: _quick_combined(jobs=4))
     combined_best_s = min(combined_serial_s, combined_jobs4_s)
     return {
-        "schema": 1,
+        "schema": 2,
         "generated_by": "benchmarks/test_perf_kernel.py",
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        "host": {
+            "cpu_model": _cpu_model(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
         "kernel": {
             "events_per_sec": round(events_per_sec),
             "messages_per_sec": round(messages_per_sec),
+            "messages_per_sec_batched": round(messages_per_sec_batched),
+            "batched_speedup": round(messages_per_sec_batched / messages_per_sec, 2),
         },
+        "burst_ablation": burst_ablation,
         "sweeps": {
             "figure2_quick_s": round(figure2_s, 4),
             "figure8_quick_s": round(figure8_s, 4),
@@ -195,8 +288,22 @@ def perf_smoke() -> int:
 def test_perf_snapshot_writes_bench_json():
     """Regenerate BENCH_kernel.json and sanity-check its contents."""
     snapshot = write_snapshot()
+    assert snapshot["schema"] == 2
     assert snapshot["kernel"]["events_per_sec"] > 10_000
     assert snapshot["kernel"]["messages_per_sec"] > 10_000
+    # The batching headline: train delivery must beat point-to-point
+    # delivery by at least 1.5x on the same host.
+    assert (
+        snapshot["kernel"]["messages_per_sec_batched"]
+        >= 1.5 * snapshot["kernel"]["messages_per_sec"]
+    )
+    # The ablation rows are simulation counts: burst sizes 1, 8, and
+    # unbounded, with origin->root traffic strictly shrinking.
+    ablation = snapshot["burst_ablation"]
+    assert [row["burst"] for row in ablation] == [1, 8, "unbounded"]
+    origins = [row["origin_messages"] for row in ablation]
+    assert origins[0] > origins[1] > origins[2]
+    assert snapshot["host"]["cpu_model"]
     assert snapshot["sweeps"]["combined_serial_s"] > 0
     assert BENCH_JSON.exists()
     print()

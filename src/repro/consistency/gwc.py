@@ -27,7 +27,7 @@ from repro.core.node import NodeHandle
 from repro.core.section import Section, SectionOutcome
 from repro.errors import MemoryError_
 from repro.locks.gwc_lock import GwcLockClient, GwcLockManager, LockRetryPolicy
-from repro.memory.interface import ApplyPacket, UpdateRequest
+from repro.memory.interface import ApplyPacket, BurstUpdateRequest, UpdateRequest
 from repro.memory.sharing_group import SharingGroup
 from repro.memory.varspace import LockDecl
 from repro.net.message import Message
@@ -78,6 +78,19 @@ class GroupRootEngine:
         self._lock_recovery = False
         self._lease_duration: float | None = None
         self._lease_is_crashed: "Callable[[int], bool] | None" = None
+        #: Packet-train collection (Layer 1 batching): while a train is
+        #: open, :meth:`_sequence_and_multicast` appends sequenced
+        #: packets here instead of multicasting each one immediately;
+        #: :meth:`_train_flush` ships the whole run as one
+        #: :meth:`MulticastTree.multicast_train` — one heap event per
+        #: member instead of one per (member, packet), with per-packet
+        #: arrival times computed exactly as unbatched.  ``None`` means
+        #: no train is open (single sequenced writes take the direct
+        #: path, byte-for-byte the pre-train behaviour).
+        self._train: "list[ApplyPacket] | None" = None
+        self._train_depth = 0
+        #: Multi-packet trains actually shipped (diagnostics).
+        self.trains_sent = 0
 
     def enable_reliability(self, heartbeat_interval: float) -> None:
         """Keep history for retransmission and emit trailing heartbeats."""
@@ -130,14 +143,18 @@ class GroupRootEngine:
 
     def _emit_lock_values(self, name: str, values: list[Any]) -> None:
         """Sequence root-originated lock writes (lease reclaim grants)."""
-        for value in values:
-            self._sequence_and_multicast(
-                var=name,
-                value=value,
-                origin=self.group.root,
-                is_mutex_data=False,
-                is_lock=True,
-            )
+        self._train_begin()
+        try:
+            for value in values:
+                self._sequence_and_multicast(
+                    var=name,
+                    value=value,
+                    origin=self.group.root,
+                    is_mutex_data=False,
+                    is_lock=True,
+                )
+        finally:
+            self._train_flush()
 
     def depose(self) -> None:
         """Mark this engine superseded by a failover successor.
@@ -291,39 +308,81 @@ class GroupRootEngine:
                     current=self.epoch,
                 )
             return
+        self._train_begin()
+        try:
+            self._handle_write(request.var, request.value, request.origin)
+        finally:
+            self._train_flush()
+
+    def on_update_burst(self, request: BurstUpdateRequest) -> None:
+        """Handle one origin->root multi-write burst packet.
+
+        Each write is sequenced individually, in issue order, through
+        exactly the per-write logic of :meth:`on_update` (lock manager,
+        mutex-data discard, plain sequencing); the resulting run of
+        apply packets ships down the tree as one packet train.
+        """
+        if self.deposed:
+            self.deposed_ignored += 1
+            return
+        if request.epoch != self.epoch:
+            # Every write in the burst was issued into the failover
+            # window; discard them all, one count per write, exactly as
+            # if they had arrived as individual stale updates.
+            self.window_discards += len(request.writes)
+            if self.sim.trace_enabled:
+                self.sim.tracer.record(
+                    self.sim.now,
+                    "root.window_discarded_burst",
+                    group=self.group.name,
+                    writes=len(request.writes),
+                    origin=request.origin,
+                    epoch=request.epoch,
+                    current=self.epoch,
+                )
+            return
+        self._train_begin()
+        try:
+            for var, value in request.writes:
+                self._handle_write(var, value, request.origin)
+        finally:
+            self._train_flush()
+
+    def _handle_write(self, var: str, value: Any, origin: int) -> None:
+        """Lock-manage / discard / sequence one current-epoch write."""
         group = self.group
-        if group.is_lock(request.var):
-            manager = self.lock_managers[request.var]
-            for value in manager.on_write(request.origin, request.value):
+        if group.is_lock(var):
+            manager = self.lock_managers[var]
+            for granted in manager.on_write(origin, value):
                 self._sequence_and_multicast(
-                    var=request.var,
-                    value=value,
+                    var=var,
+                    value=granted,
                     origin=group.root,
                     is_mutex_data=False,
                     is_lock=True,
                 )
             return
 
-        decl = group.var_decl(request.var)
+        decl = group.var_decl(var)
         if decl.is_mutex_data:
             manager = self.lock_managers[decl.mutex_lock]
-            if not manager.holds(request.origin):
+            if not manager.holds(origin):
                 self.discarded += 1
                 if self.sim.trace_enabled:
                     self.sim.tracer.record(
                         self.sim.now,
                         "root.discarded",
                         group=group.name,
-                        var=request.var,
-                        value=request.value,
-                        origin=request.origin,
+                        var=var,
+                        value=value,
+                        origin=origin,
                         holder=manager.holder,
                     )
                 return
         self._sequence_and_multicast(
-            var=request.var,
-            value=request.value,
-            origin=request.origin,
+            var=var,
+            value=value,
+            origin=origin,
             is_mutex_data=decl.is_mutex_data,
             is_lock=False,
         )
@@ -383,6 +442,62 @@ class GroupRootEngine:
             )
         if self._heartbeat_interval is not None:
             self._history[seq] = packet
+        if self._train is not None:
+            # A train is open: the whole synchronous run of sequenced
+            # packets ships together at flush time.
+            self._train.append(packet)
+            return
+        self._emit_packet(packet)
+        self._refresh_heartbeat()
+
+    # ------------------------------------------------------------------
+    # Packet-train emission (Layer 1 batching)
+    # ------------------------------------------------------------------
+
+    def _train_begin(self) -> None:
+        """Open a packet train (re-entrant; outermost flush ships it)."""
+        if self._train_depth == 0:
+            self._train = []
+        self._train_depth += 1
+
+    def _train_flush(self) -> None:
+        """Close the train and ship any collected packets.
+
+        A one-packet train takes the ordinary single-multicast path —
+        byte-for-byte what the root did before trains existed.  A
+        multi-packet train ships via
+        :meth:`MulticastTree.multicast_train`, unless some variable in
+        the train has excluded (unsubscribed) members, in which case
+        each packet is emitted individually so per-member suppression
+        applies exactly as unbatched.
+        """
+        self._train_depth -= 1
+        if self._train_depth > 0:
+            return
+        train = self._train
+        self._train = None
+        if not train:
+            return
+        if len(train) == 1:
+            self._emit_packet(train[0])
+        elif any(self._excluded.get(packet.var) for packet in train):
+            for packet in train:
+                self._emit_packet(packet)
+        else:
+            self.trains_sent += 1
+            self.group.tree.multicast_train(
+                "gwc.apply",
+                train,
+                [
+                    self.group.wire_bytes(packet.var, self.packet_bytes)
+                    for packet in train
+                ],
+            )
+        self._refresh_heartbeat()
+
+    def _emit_packet(self, packet: ApplyPacket) -> None:
+        """Multicast one sequenced packet (with per-member suppression)."""
+        var = packet.var
         excluded = self._excluded.get(var)
         if not excluded:
             self.group.tree.multicast(
@@ -407,7 +522,6 @@ class GroupRootEngine:
                         size_bytes=self.packet_bytes if suppress else full_size,
                     )
                 )
-        self._refresh_heartbeat()
 
 
 class GwcSystem(DsmSystem):
@@ -453,6 +567,10 @@ class GwcSystem(DsmSystem):
         var: str,
         predicate: Callable[[Any], bool],
     ) -> Generator[Any, Any, Any]:
+        # Blocking on a value is a synchronization boundary: anything
+        # this process buffered must become visible before it sleeps,
+        # or a peer waiting on one of those writes would deadlock.
+        node.iface.flush_write_bursts()
         return (yield from node.store.wait_until(var, predicate))
 
     def section_write(self, node: NodeHandle, var: str, value: Any) -> None:

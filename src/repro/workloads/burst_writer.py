@@ -1,0 +1,125 @@
+"""A write-heavy producer workload for the write-burst experiment.
+
+Each node repeatedly emits a run of plain shared-data writes (its own
+slice of the group's variables) and then synchronizes through a
+lock-protected accumulator update.  The run of consecutive writes by one
+process is exactly the pattern the Sesame hardware's grouped-write
+transmission targets, so this workload makes the ``write_burst``
+machine parameter directly observable: the sharing traffic shrinks with
+the burst size while the final shared-memory state stays identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.node import NodeHandle
+from repro.errors import WorkloadError
+from repro.params import PAPER_PARAMS, MachineParams
+from repro.workloads.base import WorkloadResult, build_machine, finish
+
+GROUP = "burst_group"
+ACC = "burst_acc"
+LOCK = "burst_lock"
+
+
+def data_var(node: int, slot: int) -> str:
+    """Name of slot ``slot`` in node ``node``'s private write slice."""
+    return f"data_{node}_{slot}"
+
+
+@dataclass(frozen=True, slots=True)
+class BurstWriterConfig:
+    """Parameters for the burst-writer workload."""
+
+    system: str = "gwc"
+    n_nodes: int = 8
+    #: Synchronization rounds per node.
+    rounds: int = 8
+    #: Plain shared writes each node issues per round, before the
+    #: lock-protected accumulator update that closes the round.
+    writes_per_round: int = 16
+    #: Wire size of one data item.
+    item_bytes: int = 32
+    params: MachineParams = PAPER_PARAMS
+    seed: int = 0
+    topology: str = "mesh_torus"
+
+
+def _producer(node: NodeHandle, system: Any, config: BurstWriterConfig):
+    for round_no in range(config.rounds):
+        for slot in range(config.writes_per_round):
+            value = round_no * config.writes_per_round + slot + 1
+            yield from system.write(node, data_var(node.id, slot), value)
+        # Close the round under the lock: the acquire is a
+        # synchronization boundary, so every buffered write of this
+        # round is on the wire before the accumulator update commits.
+        yield from system.acquire(node, LOCK)
+        acc = yield from system.read(node, ACC)
+        yield from system.write(node, ACC, acc + 1)
+        yield from system.release(node, LOCK)
+
+
+def run_burst_writer(config: BurstWriterConfig) -> WorkloadResult:
+    """Run the burst-writer workload under one consistency system."""
+    if config.rounds < 1 or config.writes_per_round < 1:
+        raise WorkloadError(
+            f"need at least one round and one write per round: "
+            f"{config.rounds} x {config.writes_per_round}"
+        )
+    machine, system = build_machine(
+        config.system,
+        config.n_nodes,
+        params=config.params,
+        seed=config.seed,
+        topology=config.topology,
+    )
+    machine.create_group(GROUP, root=0)
+    for node in range(config.n_nodes):
+        for slot in range(config.writes_per_round):
+            machine.declare_variable(
+                GROUP, data_var(node, slot), initial=0, size_bytes=config.item_bytes
+            )
+    machine.declare_variable(GROUP, ACC, 0, mutex_lock=LOCK)
+    machine.declare_lock(GROUP, LOCK, protects=(ACC,))
+
+    for node in machine.nodes:
+        machine.spawn(_producer(node, system, config), name=f"producer-{node.id}")
+    result = finish(machine, system)
+
+    # Every burst buffer must have drained: the workload ends at a
+    # synchronization boundary (the final release), so a leftover
+    # buffered write would mean a flush boundary was missed.
+    pending = sum(node.iface.pending_burst_writes for node in machine.nodes)
+    expected_acc = config.n_nodes * config.rounds
+    final_acc = machine.nodes[0].store.read(ACC)
+    last_round_base = (config.rounds - 1) * config.writes_per_round
+    # The converged image, read from node 0's store (eagersharing has
+    # delivered everything at quiescence): identical across burst sizes.
+    image = tuple(
+        machine.nodes[0].store.read(data_var(node, slot))
+        for node in range(config.n_nodes)
+        for slot in range(config.writes_per_round)
+    )
+    image_ok = all(
+        value == last_round_base + slot + 1
+        for value, slot in zip(
+            image,
+            [s for _ in range(config.n_nodes) for s in range(config.writes_per_round)],
+        )
+    )
+    stats = machine.network.stats
+    result.extra.update(
+        final_acc=final_acc,
+        acc_correct=final_acc == expected_acc,
+        image=image,
+        image_correct=image_ok,
+        pending_burst_writes=pending,
+        update_messages=stats.by_kind.get("gwc.update", 0),
+        burst_messages=stats.by_kind.get("gwc.update_burst", 0),
+        total_messages=stats.messages,
+        total_bytes=stats.bytes,
+        burst_flushes=sum(node.iface.burst_flushes for node in machine.nodes),
+    )
+    return result
