@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test chaos-smoke failover-smoke bench bench-full bench-json perf-smoke profile examples figures all clean
+.PHONY: install test chaos-smoke failover-smoke shard-smoke bench bench-full bench-json perf-smoke profile examples figures all clean
 
 install:
 	$(PY) setup.py develop
@@ -21,6 +21,12 @@ chaos-smoke:
 # section and requires election + reconstruction to converge.
 failover-smoke:
 	PYTHONPATH=src $(PY) -m repro chaos --scenario crash_root --seeds 3
+
+# Shard-parity smoke: quick figure2/figure8 points under the sharded
+# kernel (both sync policies) must hash bit-identical to serial runs.
+shard-smoke:
+	PYTHONPATH=src $(PY) -m repro shard-smoke
+	PYTHONPATH=src $(PY) -m repro shard-smoke --shards 4
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

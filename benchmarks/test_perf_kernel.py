@@ -172,6 +172,45 @@ def measure_burst_ablation() -> list[dict]:
     ]
 
 
+def measure_sharded_kernel() -> dict:
+    """Sharded-kernel rows: throughput, rollback behaviour, parity bit.
+
+    Runs the quick Figure 2 task queue serial and under the 4-shard
+    optimistic kernel.  ``events_per_sec_sharded`` counts front-replica
+    event executions per second of sharded wall-clock; ``parity`` is
+    the bit the whole design hangs on — the sharded state hash must
+    equal the serial one.  On a single-CPU host the shards are
+    cooperative (one process), so sharded wall-clock includes the base
+    replica replay cost and will not beat serial; the rows document
+    rollback behaviour and correctness, not a speedup, until the
+    shards-on-processes follow-up lands.
+    """
+    from repro.workloads.task_queue import TaskQueueConfig, run_task_queue
+
+    base = dict(system="gwc", n_nodes=9, total_tasks=64)
+    serial = run_task_queue(TaskQueueConfig(**base))
+    serial_s = _best_of(lambda: run_task_queue(TaskQueueConfig(**base)))
+    latest: dict = {}
+
+    def sharded() -> None:
+        latest["result"] = run_task_queue(
+            TaskQueueConfig(**base, shards=4, shard_policy="optimistic")
+        )
+
+    sharded_s = _best_of(sharded)
+    result = latest["result"]
+    stats = result.extra["shard_stats"]
+    return {
+        "workload": "figure2 task queue (gwc, n=9, 64 tasks), 4 shards, optimistic",
+        "events_per_sec_sharded": round(stats["executed"] / sharded_s),
+        "serial_wall_s": round(serial_s, 4),
+        "sharded_wall_s": round(sharded_s, 4),
+        "rollbacks": stats["rollbacks"],
+        "rollback_ratio": round(stats["rollback_ratio"], 4),
+        "parity": result.extra["state_hash"] == serial.extra["state_hash"],
+    }
+
+
 def _cpu_model() -> str:
     """Best-effort CPU model string for the host fingerprint."""
     try:
@@ -210,13 +249,14 @@ def collect_snapshot() -> dict:
     messages_per_sec = measure_messages_per_sec()
     messages_per_sec_batched = measure_messages_per_sec_batched()
     burst_ablation = measure_burst_ablation()
+    sharded = measure_sharded_kernel()
     figure2_s = _best_of(_quick_figure2)
     figure8_s = _best_of(_quick_figure8)
     combined_serial_s = _best_of(_quick_combined)
     combined_jobs4_s = _best_of(lambda: _quick_combined(jobs=4))
     combined_best_s = min(combined_serial_s, combined_jobs4_s)
     return {
-        "schema": 2,
+        "schema": 3,
         "generated_by": "benchmarks/test_perf_kernel.py",
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
@@ -232,6 +272,7 @@ def collect_snapshot() -> dict:
             "batched_speedup": round(messages_per_sec_batched / messages_per_sec, 2),
         },
         "burst_ablation": burst_ablation,
+        "sharded": sharded,
         "sweeps": {
             "figure2_quick_s": round(figure2_s, 4),
             "figure8_quick_s": round(figure8_s, 4),
@@ -288,7 +329,7 @@ def perf_smoke() -> int:
 def test_perf_snapshot_writes_bench_json():
     """Regenerate BENCH_kernel.json and sanity-check its contents."""
     snapshot = write_snapshot()
-    assert snapshot["schema"] == 2
+    assert snapshot["schema"] == 3
     assert snapshot["kernel"]["events_per_sec"] > 10_000
     assert snapshot["kernel"]["messages_per_sec"] > 10_000
     # The batching headline: train delivery must beat point-to-point
@@ -303,6 +344,13 @@ def test_perf_snapshot_writes_bench_json():
     assert [row["burst"] for row in ablation] == [1, 8, "unbounded"]
     origins = [row["origin_messages"] for row in ablation]
     assert origins[0] > origins[1] > origins[2]
+    # Schema-3 sharded rows: the parity bit is non-negotiable, and an
+    # optimistic run on contended figure2 traffic must see rollbacks.
+    sharded = snapshot["sharded"]
+    assert sharded["parity"] is True
+    assert sharded["events_per_sec_sharded"] > 1_000
+    assert sharded["rollbacks"] >= 0
+    assert 0.0 <= sharded["rollback_ratio"]
     assert snapshot["host"]["cpu_model"]
     assert snapshot["sweeps"]["combined_serial_s"] > 0
     assert BENCH_JSON.exists()

@@ -89,6 +89,11 @@ class DSMMachine:
         #: Its presence gates the epoch-fenced critical-section paths;
         #: when ``None`` every section runs the original code path.
         self.failover_manager: Any = None
+        #: When this machine is one shard's replica of a sharded run
+        #: (see :mod:`repro.sim.shards`), the node ids this replica
+        #: authoritatively executes; ``None`` means a serial machine
+        #: that owns everything.  Gates :meth:`spawn_for`.
+        self.shard_owned: frozenset[int] | None = None
         self.groups: dict[str, SharingGroup] = {}
         self._kind_handlers: dict[str, KindHandler] = {}
         self._per_node_handlers: dict[
@@ -318,6 +323,24 @@ class DSMMachine:
     def spawn(
         self, gen: Generator[Any, Any, Any], name: str = "process"
     ) -> "Process":  # noqa: F821
+        return self.sim.spawn(gen, name)
+
+    def spawn_for(
+        self, node_id: int, gen: Generator[Any, Any, Any], name: str = "process"
+    ) -> "Process | None":  # noqa: F821
+        """Spawn a process that runs on ``node_id`` — shard-aware.
+
+        On a serial machine (``shard_owned is None``) this is exactly
+        :meth:`spawn`.  On a shard replica it only spawns processes for
+        nodes the replica owns; a non-owned node's generator is closed
+        unstarted (its process runs in that node's owning replica).
+        Workload drivers that use this for every process are sharding-
+        ready with no other changes.
+        """
+        owned = self.shard_owned
+        if owned is not None and node_id not in owned:
+            gen.close()
+            return None
         return self.sim.spawn(gen, name)
 
     def run(

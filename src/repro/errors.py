@@ -20,6 +20,16 @@ class ProcessError(SimulationError):
     """A simulated process misbehaved (bad yield value, double resume...)."""
 
 
+class ShardingError(SimulationError):
+    """The sharded kernel was misused or detected an internal inconsistency.
+
+    Raised for unshardable configurations (non-message-pure consistency
+    systems, random loss models, zero cross-shard lookahead) and for
+    invariant violations such as a straggler under the conservative
+    policy, which the lookahead bound proves impossible.
+    """
+
+
 class StallError(SimulationError):
     """The progress watchdog detected a silent hang.
 

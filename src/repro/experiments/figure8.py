@@ -21,7 +21,7 @@ from repro.experiments.common import (
     data_size_fig8,
     network_sizes_fig8,
 )
-from repro.experiments.runner import SweepExecutor
+from repro.experiments.runner import SweepExecutor, default_shards
 from repro.metrics.report import format_table
 from repro.params import PAPER_PARAMS, MachineParams
 from repro.workloads.pipeline import PipelineConfig, run_pipeline
@@ -40,12 +40,20 @@ class Figure8Row:
 
 
 def _figure8_point(
-    point: tuple[int, int, float, float, int, int, MachineParams],
+    point: tuple[int, int, float, float, int, int, MachineParams, int, str],
 ) -> Figure8Row:
     """One network size's four series (module-level: picklable)."""
-    n_nodes, data_size, local_time, mutex_ratio, item_bytes, block_bytes, params = (
-        point
-    )
+    (
+        n_nodes,
+        data_size,
+        local_time,
+        mutex_ratio,
+        item_bytes,
+        block_bytes,
+        params,
+        shards,
+        policy,
+    ) = point
     base = dict(
         n_nodes=n_nodes,
         data_size=data_size,
@@ -54,13 +62,30 @@ def _figure8_point(
         item_bytes=item_bytes,
         block_bytes=block_bytes,
     )
+    # Sharding applies to the two GWC-family series; the zero-delay
+    # ideal (no cross-shard lookahead) and entry consistency (not
+    # message-pure) fall back to serial regardless.
     ideal = run_pipeline(
         PipelineConfig(system="gwc", params=params.zero_delay(), **base)
     )
     optimistic = run_pipeline(
-        PipelineConfig(system="gwc_optimistic", params=params, **base)
+        PipelineConfig(
+            system="gwc_optimistic",
+            params=params,
+            shards=shards,
+            shard_policy=policy,
+            **base,
+        )
     )
-    gwc = run_pipeline(PipelineConfig(system="gwc", params=params, **base))
+    gwc = run_pipeline(
+        PipelineConfig(
+            system="gwc",
+            params=params,
+            shards=shards,
+            shard_policy=policy,
+            **base,
+        )
+    )
     entry = run_pipeline(PipelineConfig(system="entry", params=params, **base))
     for result in (ideal, optimistic, gwc, entry):
         if not result.extra["acc_correct"]:
@@ -86,17 +111,33 @@ def run_figure8(
     block_bytes: int = 64,
     params: MachineParams = PAPER_PARAMS,
     jobs: int | None = None,
+    shards: int | None = None,
+    shard_policy: str = "optimistic",
 ) -> list[Figure8Row]:
     """Sweep network sizes for the four Figure 8 series.
 
     Each network size is an independent simulation point; ``jobs``
     (default: the ``REPRO_JOBS`` env var) fans them across worker
-    processes without changing any result.
+    processes without changing any result.  ``shards`` (default: the
+    ``REPRO_SHARDS`` env var) runs the GWC-family points under the
+    sharded kernel — results are bit-identical to serial by
+    construction.
     """
     sizes = sizes if sizes is not None else network_sizes_fig8()
     data_size = data_size if data_size is not None else data_size_fig8()
+    shards = default_shards() if shards is None else max(1, int(shards))
     points = [
-        (n_nodes, data_size, local_time, mutex_ratio, item_bytes, block_bytes, params)
+        (
+            n_nodes,
+            data_size,
+            local_time,
+            mutex_ratio,
+            item_bytes,
+            block_bytes,
+            params,
+            shards,
+            shard_policy,
+        )
         for n_nodes in sizes
     ]
     return SweepExecutor(jobs).map(_figure8_point, points)

@@ -24,12 +24,16 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ExperimentError
 
 #: Environment variable selecting the default worker count.
 JOBS_ENV = "REPRO_JOBS"
+#: Environment variable selecting the default shard count for workloads
+#: that support the sharded kernel (see :mod:`repro.sim.shards`).
+SHARDS_ENV = "REPRO_SHARDS"
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -49,6 +53,20 @@ def default_jobs() -> int:
     return max(1, jobs)
 
 
+def default_shards() -> int:
+    """Shard count from ``REPRO_SHARDS`` (absent/empty -> 1, serial)."""
+    raw = os.environ.get(SHARDS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        shards = int(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"{SHARDS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    return max(1, shards)
+
+
 class SweepExecutor:
     """Maps a function over independent sweep points, possibly in parallel.
 
@@ -59,10 +77,25 @@ class SweepExecutor:
     """
 
     def __init__(self, jobs: int | None = None) -> None:
-        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        requested = default_jobs() if jobs is None else max(1, int(jobs))
+        available = os.cpu_count() or 1
+        if requested > 1 and requested > available:
+            # More workers than CPUs never helps these CPU-bound sweeps
+            # (forked workers just time-slice); say so once instead of
+            # silently over- or under-delivering.
+            self._notice(
+                f"requested {requested} jobs but only {available} CPU(s) "
+                f"available; running {min(requested, available)}"
+            )
+            requested = available
+        self.jobs = requested
 
     def __repr__(self) -> str:
         return f"SweepExecutor(jobs={self.jobs})"
+
+    @staticmethod
+    def _notice(message: str) -> None:
+        print(f"[sweep] {message}", file=sys.stderr)
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """``[fn(item) for item in items]``, fanned across workers.
@@ -78,9 +111,14 @@ class SweepExecutor:
             ctx = self._context()
             with ctx.Pool(processes=workers) as pool:
                 return pool.map(fn, points)
-        except (OSError, PermissionError):
+        except (OSError, PermissionError) as exc:
             # No usable multiprocessing primitives in this environment;
-            # degrade to the serial path rather than failing the sweep.
+            # degrade to the serial path rather than failing the sweep —
+            # but never silently (the jobs-N-slower-than-serial footgun).
+            self._notice(
+                f"multiprocessing unavailable ({exc.__class__.__name__}); "
+                f"running {len(points)} point(s) serially"
+            )
             return [fn(item) for item in points]
 
     @staticmethod

@@ -1,0 +1,897 @@
+"""The sharded optimistic simulation kernel (Time Warp over replicas).
+
+This module parallelizes the event loop itself — the structural
+counterpart of the paper's thesis applied to our own simulator: shards
+execute optimistically ahead of global virtual time (GVT) and roll back
+when a cross-shard message arrives in their past, instead of waiting
+conservatively on every possible interaction.
+
+Architecture
+------------
+
+The node set is partitioned into shards (sharing-group-aware contiguous
+blocks, :class:`ShardPlan`).  Each shard runs a **full replica** of the
+machine, built from the same deterministic factory as a serial run, but
+only spawns the processes of the nodes it owns
+(:meth:`~repro.core.machine.DSMMachine.spawn_for`).  A
+:class:`ShardRouter` installed on each replica's network diverts sends
+addressed to non-owned nodes into an outbox; the coordinator
+(:class:`ShardedSimulator`) stamps them with globally unique delivery
+keys and injects them into the owning replica's event heap as
+cancellable events.  Intra-shard traffic never leaves the replica's
+fast path.
+
+Arrival ordering: in the serial kernel a delivery's sequence number is
+allocated at *send* time, so two messages arriving at the same instant
+fire in send order, and both fire before anything their handlers later
+schedule at that instant.  A partitioned run cannot share one counter,
+so every arrival in a routed replica — intra-shard and cross-shard
+alike — is keyed ``(arrival, _DELIVERY_PRIORITY, token)`` where the
+token is ``(send time, src node, per-src send index)``.  The priority
+band sorts arrivals before every same-time local event (zero-delay
+wakeups a handler schedules key-sort after their delivery), and the
+token orders arrivals among themselves by send time exactly as the
+serial counter does, while staying independent of any replica-local
+counter — a front replica and its replaying base stamp bit-identical
+keys.  This also makes key order equal execution order inside a
+replica, the invariant the rollback bookkeeping (committed prefix =
+all keys below the straggler) depends on.
+
+Synchronization policies
+------------------------
+
+``conservative``
+    Classic lookahead windows: every round, each shard drains events
+    strictly below ``GVT + lookahead`` where lookahead is the minimum
+    cross-shard wire latency.  A message sent at time ``s >= GVT``
+    arrives at ``s + latency >= GVT + lookahead`` — at or beyond every
+    shard's horizon — so stragglers are provably impossible and no
+    rollback machinery runs.
+
+``optimistic``
+    Shards drain up to ``GVT + lookahead * window_factor`` (the bounded
+    optimism window).  A delivery whose key is at or below the target
+    shard's local virtual time is a **straggler**: the shard rolls back
+    to just before the straggler's key and re-executes.  Every message
+    the rolled-back execution emitted from the undone suffix is
+    annihilated (its **anti-message**): a pending delivery is cancelled
+    in place; an already-executed one recursively rolls its consumer
+    back (cascading rollback, computed as a fixpoint before any
+    re-execution starts).
+
+Checkpoints by replay (coast-forward)
+-------------------------------------
+
+Python generator frames cannot be copied, so shard state cannot be
+snapshotted by value.  Instead each optimistic shard keeps a **base
+replica** — a second, lagging execution fed only *committed* inputs
+(deliveries below GVT, which the GVT fence proves will never be
+annihilated).  The base replica *is* the checkpoint: restoring to a
+straggler key ``K`` means injecting the logged inputs below ``K`` and
+draining the base to exactly ``K`` with its outputs suppressed
+(coast-forward; duplicates of messages the original execution already
+sent), then promoting it to be the shard's live replica.  A fresh base
+is then rebuilt from the factory and catches up incrementally, a
+bounded number of events per round, so steady-state rollback cost is
+proportional to the optimism window, not to history.
+
+Determinism and parity
+----------------------
+
+A shard's execution is a pure function of its factory and the injected
+delivery sequence, so replicas replay exactly, and the merged final
+state (each node read from its owning replica, each group's lock table
+from the root's owner) is bit-identical to a serial run — enforced via
+:mod:`repro.sim.statehash` by the shard-parity tests and the
+``shard-smoke`` CI gate.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ShardingError
+from repro.net.message import Message
+from repro.sim.event import PRIORITY_ARRIVAL_BAND
+from repro.sim.kernel import EventKey
+
+#: Priority band for message arrivals in a routed replica.  Far below
+#: every local priority (URGENT is -1), so an arrival fires *before*
+#: any same-time local event; the seq slot holds a ``(send time, src
+#: node, per-src send index)`` token that orders same-time arrivals in
+#: send order, exactly as the serial kernel's seq-at-send-time counter
+#: does.  Both directions are load-bearing: events a delivery handler
+#: schedules at the same timestamp (zero-delay wakeups) get ordinary
+#: local keys, which must sort *after* the delivery, and two arrivals
+#: colliding at one instant must fire in send order whichever shard
+#: each came from.  With band ordering, execution order within a
+#: replica always equals key order, which is what makes "rolled back to
+#: just before key K" mean exactly "the executed prefix is every event
+#: with key < K".
+_DELIVERY_PRIORITY = PRIORITY_ARRIVAL_BAND
+
+#: Priority bound used to build inclusive/exclusive window limit keys
+#: (strictly outside both the delivery band and local priorities).
+_PRIORITY_CEILING = 1 << 30
+
+#: Default bounded-optimism multiple of the conservative lookahead.
+DEFAULT_WINDOW_FACTOR = 8.0
+
+#: Default per-round event budget for base-replica catch-up after a
+#: rollback consumed the old base (keeps one round from replaying an
+#: unbounded history in a single burst).
+_BASE_CATCHUP_FLOOR = 4096
+
+# _Delivery lifecycle states.
+_PENDING = 0      # routed, not yet injected anywhere (pre-replay)
+_DELIVERED = 1    # injected into the owner's heap, not yet executed
+_EXECUTED = 2     # the owner fired it
+_ANNIHILATED = 3  # cancelled by an anti-message; skipped everywhere
+
+
+class ShardPlan:
+    """A partition of node ids into shards.
+
+    Built group-aware: nodes sharing a group are clustered (union-find)
+    and clusters are kept whole when they fit a shard's quota, so most
+    sharing traffic stays intra-shard; clusters larger than one quota
+    (e.g. a single machine-wide group) split into contiguous blocks —
+    the root's shard then sees exactly the cross-shard root<->member
+    traffic the optimistic kernel is built to overlap.
+    """
+
+    __slots__ = ("owner", "n_nodes", "n_shards")
+
+    def __init__(self, owner: Sequence[int]) -> None:
+        if not owner:
+            raise ShardingError("a shard plan needs at least one node")
+        shards = sorted(set(owner))
+        if shards != list(range(len(shards))):
+            raise ShardingError(f"shard ids must be dense from 0: {shards}")
+        self.owner = tuple(owner)
+        self.n_nodes = len(self.owner)
+        self.n_shards = len(shards)
+
+    def __repr__(self) -> str:
+        return f"ShardPlan(owner={self.owner})"
+
+    def shard_of(self, node: int) -> int:
+        return self.owner[node]
+
+    def owned(self, shard: int) -> frozenset[int]:
+        return frozenset(
+            node for node, owner in enumerate(self.owner) if owner == shard
+        )
+
+    @classmethod
+    def from_groups(
+        cls,
+        n_nodes: int,
+        n_shards: int,
+        groups: Iterable[Iterable[int]] = (),
+    ) -> "ShardPlan":
+        """Partition ``n_nodes`` into up to ``n_shards`` shards.
+
+        ``groups`` are member sets whose nodes should co-locate when
+        possible.  The result may use fewer shards than requested (never
+        more than there are nodes); shard ids are dense and ordered by
+        their smallest node, with node 0 always in shard 0.
+        """
+        if n_nodes < 1:
+            raise ShardingError(f"need at least one node: {n_nodes}")
+        if n_shards < 1:
+            raise ShardingError(f"need at least one shard: {n_shards}")
+        n_shards = min(n_shards, n_nodes)
+        parent = list(range(n_nodes))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for members in groups:
+            members = list(members)
+            for member in members[1:]:
+                root_a, root_b = find(members[0]), find(member)
+                if root_a != root_b:
+                    parent[root_b] = root_a
+        clusters: dict[int, list[int]] = {}
+        for node in range(n_nodes):
+            clusters.setdefault(find(node), []).append(node)
+        ordered = sorted(clusters.values(), key=lambda c: c[0])
+
+        quota = -(-n_nodes // n_shards)  # ceil
+        owner = [0] * n_nodes
+        shard = 0
+        filled = 0
+        for cluster in ordered:
+            # Keep a cluster whole when it fits the next shard's
+            # remaining space; otherwise (or when it can never fit)
+            # stream it across shards contiguously.
+            if filled and filled + len(cluster) > quota and shard < n_shards - 1:
+                shard += 1
+                filled = 0
+            for node in cluster:
+                if filled >= quota and shard < n_shards - 1:
+                    shard += 1
+                    filled = 0
+                owner[node] = shard
+                filled += 1
+        # Renumber densely in first-appearance order (node 0 -> shard 0).
+        remap: dict[int, int] = {}
+        for node in range(n_nodes):
+            remap.setdefault(owner[node], len(remap))
+        return cls(tuple(remap[owner[node]] for node in range(n_nodes)))
+
+
+class _Delivery:
+    """One routed cross-shard message: log record + injectable event."""
+
+    __slots__ = (
+        "key",
+        "emit_key",
+        "src_shard",
+        "dst_shard",
+        "src",
+        "dst",
+        "kind",
+        "payload",
+        "size",
+        "sent_at",
+        "state",
+        "event",
+        "_handler",
+        "_msg",
+    )
+
+    def __init__(
+        self,
+        key: EventKey,
+        emit_key: EventKey,
+        src_shard: int,
+        dst_shard: int,
+        msg: Message,
+    ) -> None:
+        self.key = key
+        self.emit_key = emit_key
+        self.src_shard = src_shard
+        self.dst_shard = dst_shard
+        self.src = msg.src
+        self.dst = msg.dst
+        self.kind = msg.kind
+        self.payload = msg.payload
+        self.size = msg.size_bytes
+        self.sent_at = msg.sent_at
+        self.state = _PENDING
+        self.event = None
+        self._handler = None
+        self._msg = None
+
+    def __repr__(self) -> str:
+        return (
+            f"_Delivery({self.src}->{self.dst} {self.kind!r} @ {self.key}, "
+            f"state={self.state})"
+        )
+
+    def fire(self) -> None:
+        self.state = _EXECUTED
+        self._handler(self._msg)
+
+    def _resolve(self, machine: Any) -> tuple[Any, Message]:
+        """Handler + fresh message bound to *this* replica.
+
+        Resolution must happen against the target replica (a discarded
+        replica's cached handler must never leak into its replacement),
+        and each replica gets its own :class:`Message` instance so a
+        handler that stashes the object cannot alias two timelines.
+        """
+        network = machine.network
+        handler = network._direct.get((self.dst, self.kind))
+        if handler is None:
+            handler = network._resolve_direct(self.dst, self.kind)
+        msg = Message(self.src, self.dst, self.kind, self.payload, self.size)
+        msg.sent_at = self.sent_at
+        return handler, msg
+
+    def inject(self, machine: Any) -> None:
+        """(Re-)schedule this delivery in the *front* replica's heap.
+
+        Tracks the record's live state: the registered cancellable event
+        is what a later anti-message cancels, and :meth:`fire` marks the
+        record executed so a rollback knows to cascade.  Only ever
+        called against the current (or about-to-be-promoted) front —
+        base catch-up uses :meth:`inject_replay`.
+        """
+        handler, msg = self._resolve(machine)
+        self._handler = handler
+        self._msg = msg
+        self.state = _DELIVERED
+        time, priority, seq = self.key
+        self.event = machine.sim._queue.push_at_key(time, priority, seq, self.fire)
+
+    def inject_replay(self, machine: Any) -> None:
+        """Deliver into a background base replica — stateless.
+
+        The base replays committed history while the front is still the
+        live timeline, so this must not touch ``state``/``event``/the
+        bound handler: those describe the record's status on the front
+        (e.g. the front may have EXECUTED this record already, or may
+        still hold its cancellable event).  Committed deliveries are
+        below the GVT fence and can never be annihilated, so the replay
+        event needs no cancellation handle either.
+        """
+        handler, msg = self._resolve(machine)
+        time, priority, seq = self.key
+        machine.sim._queue.push_at_key(
+            time, priority, seq, lambda: handler(msg)
+        )
+
+    def annihilate(self) -> bool:
+        """Cancel this delivery; returns True if it had already executed.
+
+        The anti-message: a still-pending delivery is cancelled in place
+        (its event becomes a skipped no-op); an executed one reports
+        ``True`` so the caller rolls the consuming shard back to before
+        ``self.key``.
+        """
+        executed = self.state == _EXECUTED
+        self.state = _ANNIHILATED
+        event = self.event
+        self.event = None
+        if event is not None:
+            event.cancel()
+        return executed
+
+
+class ShardRouter:
+    """Per-replica send interceptor (installed on the replica's network).
+
+    Collects cross-shard emissions into an outbox the coordinator flushes
+    each round.  In ``suppress`` mode (base replicas and coast-forward
+    replay) emissions are counted and dropped: a replay re-executes
+    events whose messages were already sent by the original execution.
+    """
+
+    __slots__ = ("owned", "sim", "outbox", "suppress", "suppressed")
+
+    def __init__(self, owned: frozenset[int], sim: Any) -> None:
+        self.owned = owned
+        self.sim = sim
+        #: ``(msg, arrival, copies, token, emit_key)`` in emission
+        #: order; ``token`` is the send-order key the network stamped
+        #: (see :data:`_DELIVERY_PRIORITY`).
+        self.outbox: list[tuple[Message, float, int, tuple, EventKey]] = []
+        self.suppress = False
+        self.suppressed = 0
+
+    def emit(
+        self, msg: Message, arrival: float, copies: int, token: tuple
+    ) -> None:
+        if self.suppress:
+            self.suppressed += copies
+            return
+        emit_key = self.sim.current_key
+        if emit_key is None:
+            # Emitted outside the drain loop (setup code at t=0).
+            emit_key = (self.sim._now, -_PRIORITY_CEILING, 0)
+        self.outbox.append((msg, arrival, copies, token, emit_key))
+
+
+class _Replica:
+    """One build of the machine plus its router and drain bookkeeping."""
+
+    __slots__ = ("machine", "system", "router", "lvt", "fired")
+
+    def __init__(self, machine: Any, system: Any, router: ShardRouter) -> None:
+        self.machine = machine
+        self.system = system
+        self.router = router
+        #: Key of the last executed event (local virtual time), or None.
+        self.lvt: EventKey | None = None
+        self.fired = 0
+
+    def drain(self, limit: EventKey, max_events: int | None = None) -> int:
+        fired, last = self.machine.sim.run_window(limit, max_events=max_events)
+        if last is not None:
+            self.lvt = last
+        self.fired += fired
+        return fired
+
+
+class _Shard:
+    """One shard: its live (front) replica, logs, and base checkpoint."""
+
+    __slots__ = (
+        "index",
+        "owned",
+        "front",
+        "base",
+        "inputs",
+        "outputs",
+        "base_pending",
+        "round_fired",
+    )
+
+    def __init__(self, index: int, owned: frozenset[int]) -> None:
+        self.index = index
+        self.owned = owned
+        self.front: _Replica | None = None
+        self.base: _Replica | None = None
+        #: Every delivery ever routed *to* this shard, in routing order.
+        self.inputs: list[_Delivery] = []
+        #: Live deliveries emitted *by* this shard (fossil-collected
+        #: below GVT: committed emissions can never be annihilated).
+        self.outputs: list[_Delivery] = []
+        #: Min-heap of ``(key, n, record)`` inputs the base replica has
+        #: not consumed yet.
+        self.base_pending: list[tuple[EventKey, int, _Delivery]] = []
+        self.round_fired = 0
+
+
+class ShardStats:
+    """Aggregate behaviour counters for one sharded run."""
+
+    __slots__ = (
+        "rounds",
+        "executed",
+        "replayed",
+        "rollbacks",
+        "stragglers",
+        "annihilated",
+        "routed",
+        "suppressed",
+    )
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        #: Events fired by front replicas (committed + later rolled back).
+        self.executed = 0
+        #: Events re-executed by base replicas (checkpoint catch-up +
+        #: coast-forward restores).
+        self.replayed = 0
+        self.rollbacks = 0
+        self.stragglers = 0
+        self.annihilated = 0
+        self.routed = 0
+        self.suppressed = 0
+
+    def rollback_ratio(self) -> float:
+        """Re-executed events per front-executed event."""
+        if self.executed == 0:
+            return 0.0
+        return self.replayed / self.executed
+
+    def summary(self) -> dict[str, float | int]:
+        return {
+            "rounds": self.rounds,
+            "executed": self.executed,
+            "replayed": self.replayed,
+            "rollbacks": self.rollbacks,
+            "stragglers": self.stragglers,
+            "annihilated": self.annihilated,
+            "routed": self.routed,
+            "rollback_ratio": self.rollback_ratio(),
+        }
+
+
+#: A factory builds one replica: ``factory(owned) -> (machine, system)``.
+#: ``owned=None`` must build the plain serial machine; with a frozenset
+#: it must set ``machine.shard_owned`` (or use ``spawn_for``) so only
+#: owned processes spawn.  The build must be deterministic: replicas and
+#: replays all come from this function.
+ShardFactory = Callable[[frozenset[int] | None], tuple[Any, Any]]
+
+
+class ShardedSimulator:
+    """Coordinates N shard replicas under one virtual clock.
+
+    Args:
+        factory: Deterministic replica builder (see :data:`ShardFactory`).
+        plan: Node-to-shard assignment.
+        policy: ``"conservative"`` or ``"optimistic"``.
+        window_factor: Optimism window as a multiple of the conservative
+            lookahead (ignored under ``conservative``).
+    """
+
+    def __init__(
+        self,
+        factory: ShardFactory,
+        plan: ShardPlan,
+        policy: str = "optimistic",
+        window_factor: float = DEFAULT_WINDOW_FACTOR,
+    ) -> None:
+        if policy not in ("conservative", "optimistic"):
+            raise ShardingError(
+                f"unknown sync policy {policy!r}; use 'conservative' or 'optimistic'"
+            )
+        if window_factor < 1.0:
+            raise ShardingError(
+                f"window_factor must be >= 1 (got {window_factor})"
+            )
+        self.factory = factory
+        self.plan = plan
+        self.policy = policy
+        self.stats = ShardStats()
+        self.shards: list[_Shard] = []
+        self._base_seq = 0  # tie-break for the base_pending heaps
+        self._finished = False
+        for index in range(plan.n_shards):
+            shard = _Shard(index, plan.owned(index))
+            shard.front = self._build_replica(shard, suppress=False)
+            self.shards.append(shard)
+        first = self.shards[0].front.machine
+        self.n_nodes = first.n_nodes
+        self.lookahead = self._min_cross_latency(first)
+        if self.lookahead <= 0.0:
+            raise ShardingError(
+                "zero cross-shard lookahead (hop_latency=0 or co-located "
+                "shards): sharding cannot make progress; run serial"
+            )
+        self.window = (
+            self.lookahead
+            if policy == "conservative"
+            else self.lookahead * window_factor
+        )
+        if policy == "optimistic":
+            for shard in self.shards:
+                shard.base = self._build_replica(shard, suppress=True)
+                # A fresh base has consumed nothing; every input routed
+                # from now on is queued for it in route order.
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_replica(self, shard: _Shard, suppress: bool) -> _Replica:
+        machine, system = self.factory(shard.owned)
+        if machine.shard_owned != shard.owned:
+            raise ShardingError(
+                "factory must set machine.shard_owned to the owned set "
+                f"(got {machine.shard_owned!r}, want {set(shard.owned)!r})"
+            )
+        if not getattr(system, "shardable", False):
+            raise ShardingError(
+                f"system {getattr(system, 'name', system)!r} is not "
+                "shardable (not message-pure); run serial"
+            )
+        if machine.loss_model is not None:
+            raise ShardingError(
+                "random loss models are not shardable: per-replica RNG "
+                "draw order diverges from the serial kernel"
+            )
+        if machine.failover_manager is not None:
+            raise ShardingError(
+                "root failover crosses replica boundaries (direct engine "
+                "state reads); not supported under sharding"
+            )
+        router = ShardRouter(shard.owned, machine.sim)
+        router.suppress = suppress
+        machine.network.install_shard_router(router)
+        return _Replica(machine, system, router)
+
+    def _min_cross_latency(self, machine: Any) -> float:
+        """Conservative lookahead: the smallest cross-shard wire latency."""
+        topology = machine.topology
+        hop = machine.params.hop_latency
+        owner = self.plan.owner
+        best = float("inf")
+        for src in range(self.n_nodes):
+            for dst in range(self.n_nodes):
+                if owner[src] == owner[dst]:
+                    continue
+                latency = topology.hops(src, dst) * hop
+                if latency < best:
+                    best = latency
+        if best == float("inf"):
+            # Single shard: no cross traffic; any positive window works.
+            return hop if hop > 0 else 0.0
+        return best
+
+    # ------------------------------------------------------------------
+    # The round loop
+    # ------------------------------------------------------------------
+
+    def _gvt(self) -> float | None:
+        """Earliest pending event time across all front replicas."""
+        best: float | None = None
+        for shard in self.shards:
+            queue = shard.front.machine.sim._queue
+            if queue:
+                time = queue.peek_time()
+                if best is None or time < best:
+                    best = time
+        return best
+
+    def run(self, max_rounds: int | None = None) -> float:
+        """Drive all shards to completion; returns the final clock."""
+        if self._finished:
+            raise ShardingError("sharded run already finished")
+        optimistic = self.policy == "optimistic"
+        while True:
+            gvt = self._gvt()
+            if gvt is None:
+                break
+            self.stats.rounds += 1
+            if max_rounds is not None and self.stats.rounds > max_rounds:
+                raise ShardingError(
+                    f"exceeded max_rounds={max_rounds}; likely a livelock"
+                )
+            if optimistic:
+                self._advance_bases(gvt)
+            horizon: EventKey = (gvt + self.window, -_PRIORITY_CEILING, 0)
+            for shard in self.shards:
+                fired = shard.front.drain(horizon)
+                shard.round_fired = fired
+                self.stats.executed += fired
+            stragglers = self._route_round()
+            if stragglers:
+                if not optimistic:
+                    raise ShardingError(
+                        "straggler under the conservative policy: the "
+                        "lookahead bound was violated (internal error)"
+                    )
+                self._rollback(stragglers, gvt)
+            self._fossil_collect(gvt)
+        self.stats.suppressed = sum(
+            shard.front.router.suppressed for shard in self.shards
+        ) + sum(
+            shard.base.router.suppressed
+            for shard in self.shards
+            if shard.base is not None
+        )
+        self._finished = True
+        return self.elapsed
+
+    def _fossil_collect(self, gvt: float) -> None:
+        """Drop output records that can never be annihilated.
+
+        A rollback target is always a delivery key strictly above GVT
+        (arrival >= send time + lookahead > GVT), so an emission stamped
+        at or below GVT can never satisfy ``emit_key >= target`` — it is
+        committed history the annihilation fixpoint need not scan.
+        Input records are kept: a rollback rebuilds a fresh base replica
+        from t=0, which owes the shard's entire delivery history.
+        """
+        for shard in self.shards:
+            outputs = shard.outputs
+            if outputs and any(record.emit_key[0] <= gvt for record in outputs):
+                shard.outputs = [
+                    record for record in outputs if record.emit_key[0] > gvt
+                ]
+
+    def _route_round(self) -> dict[int, EventKey]:
+        """Flush outboxes, stamp delivery keys, inject; find stragglers.
+
+        A routed delivery's key is ``(arrival, band, token)`` with the
+        send-order token the source network stamped at emission time —
+        the same key the arrival would have carried had it stayed
+        intra-shard, so cross- and intra-shard arrivals colliding at one
+        instant order exactly as in a serial run; the parity tests hold
+        this to bit-identical final state.
+        """
+        entries: list[tuple[float, tuple, int, Message, int, EventKey]] = []
+        for shard in self.shards:
+            outbox = shard.front.router.outbox
+            if outbox:
+                for msg, arrival, copies, token, emit_key in outbox:
+                    entries.append(
+                        (arrival, token, shard.index, msg, copies, emit_key)
+                    )
+                outbox.clear()
+        if not entries:
+            return {}
+        entries.sort(key=lambda entry: entry[:2])
+        stragglers: dict[int, EventKey] = {}
+        owner = self.plan.owner
+        for arrival, token, src_shard, msg, copies, emit_key in entries:
+            dst_shard_index = owner[msg.dst]
+            dst_shard = self.shards[dst_shard_index]
+            send_time, send_src, send_idx = token
+            for copy in range(copies):
+                record = _Delivery(
+                    (
+                        arrival,
+                        _DELIVERY_PRIORITY,
+                        (send_time, send_src, send_idx + copy),
+                    ),
+                    emit_key,
+                    src_shard,
+                    dst_shard_index,
+                    msg,
+                )
+                self.shards[src_shard].outputs.append(record)
+                dst_shard.inputs.append(record)
+                if dst_shard.base is not None:
+                    self._base_seq += 1
+                    heappush(
+                        dst_shard.base_pending,
+                        (record.key, self._base_seq, record),
+                    )
+                self.stats.routed += 1
+                lvt = dst_shard.front.lvt
+                if lvt is not None and record.key <= lvt:
+                    # Straggler: arrived in the shard's executed past.
+                    self.stats.stragglers += 1
+                    current = stragglers.get(dst_shard_index)
+                    if current is None or record.key < current:
+                        stragglers[dst_shard_index] = record.key
+                else:
+                    record.inject(dst_shard.front.machine)
+        return stragglers
+
+    # ------------------------------------------------------------------
+    # Rollback
+    # ------------------------------------------------------------------
+
+    def _rollback(self, stragglers: dict[int, EventKey], gvt: float) -> None:
+        """Cascading rollback: annihilation fixpoint, then replays."""
+        targets = dict(stragglers)
+        changed = True
+        while changed:
+            changed = False
+            for index in list(targets):
+                target = targets[index]
+                for record in self.shards[index].outputs:
+                    if record.state == _ANNIHILATED or record.emit_key < target:
+                        continue
+                    executed = record.annihilate()
+                    self.stats.annihilated += 1
+                    if executed:
+                        # Anti-message against an already-executed
+                        # delivery: its consumer rolls back too.
+                        current = targets.get(record.dst_shard)
+                        if current is None or record.key < current:
+                            targets[record.dst_shard] = record.key
+                            changed = True
+        for index, target in targets.items():
+            self._restore(self.shards[index], target)
+            self.stats.rollbacks += 1
+
+    def _restore(self, shard: _Shard, target: EventKey) -> None:
+        """Restore ``shard`` to just before ``target`` via coast-forward.
+
+        Promotes the base replica: inject its unconsumed committed
+        inputs below ``target``, drain it to exactly ``target`` with
+        outputs suppressed (they were already sent), then swap it in as
+        the live replica and start a fresh base.
+        """
+        base = shard.base
+        if base is None:  # pragma: no cover - guarded by policy checks
+            raise ShardingError("rollback without a base replica")
+        pending = shard.base_pending
+        while pending and pending[0][0] < target:
+            _key, _n, record = heappop(pending)
+            if record.state != _ANNIHILATED:
+                record.inject(base.machine)
+        fired, _last = base.machine.sim.run_window(target)
+        base.fired += fired
+        self.stats.replayed += fired
+        if base.machine.sim._queue:
+            # Nothing this shard owns may sit below the straggler key
+            # after coast-forward, or the restore undershot.
+            head = base.machine.sim._queue.peek_time()
+            if head < target[0]:
+                raise ShardingError(
+                    f"coast-forward stalled at {head} before target {target}"
+                )
+        # The promoted replica starts emitting live again.
+        base.router.suppress = False
+        base.lvt = base.machine.sim.current_key
+        shard.front = base
+        # Everything at/after the straggler key is part of the undone
+        # suffix: re-deliver it to the promoted replica whether the old
+        # front had executed it, held its event, or never saw it (the
+        # straggler itself).  Records below the key were consumed by the
+        # coast-forward (or earlier base catch-up) and stay consumed.
+        for record in shard.inputs:
+            if record.state != _ANNIHILATED and record.key >= target:
+                record.inject(base.machine)
+        # Fresh base at t=0; it owes the entire committed input history.
+        shard.base = self._build_replica(shard, suppress=True)
+        shard.base_pending = []
+        for record in shard.inputs:
+            if record.state != _ANNIHILATED:
+                self._base_seq += 1
+                heappush(
+                    shard.base_pending, (record.key, self._base_seq, record)
+                )
+
+    def _advance_bases(self, gvt: float) -> None:
+        """Advance every base replica through the committed prefix.
+
+        Deliveries below GVT can never be annihilated (a rollback target
+        always lies strictly above GVT), so the base may consume them
+        permanently.  The per-round event budget bounds how much history
+        a freshly rebuilt base replays in one round.
+        """
+        limit: EventKey = (gvt, _PRIORITY_CEILING, 0)
+        for shard in self.shards:
+            base = shard.base
+            if base is None:
+                continue
+            pending = shard.base_pending
+            while pending and pending[0][0] < limit:
+                _key, _n, record = heappop(pending)
+                if record.state != _ANNIHILATED:
+                    # Stateless replay injection: the record's state and
+                    # cancellable event describe the *front's* timeline
+                    # and must not be disturbed by base bookkeeping.
+                    record.inject_replay(base.machine)
+            budget = max(_BASE_CATCHUP_FLOOR, 4 * shard.round_fired)
+            fired = base.drain(limit, max_events=budget)
+            self.stats.replayed += fired
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def machines(self) -> list[Any]:
+        """The live (front) replica machines, by shard index."""
+        return [shard.front.machine for shard in self.shards]
+
+    @property
+    def owner_of(self) -> tuple[int, ...]:
+        return self.plan.owner
+
+    @property
+    def elapsed(self) -> float:
+        """The final clock: time of the last event executed anywhere."""
+        return max(shard.front.machine.sim.now for shard in self.shards)
+
+    def node(self, node_id: int) -> Any:
+        """Node ``node_id``'s handle from its owning replica."""
+        return self.shards[self.plan.owner[node_id]].front.machine.nodes[node_id]
+
+    @property
+    def nodes(self) -> list[Any]:
+        """All node handles, each from its owning replica."""
+        return [self.node(node_id) for node_id in range(self.n_nodes)]
+
+    def merged_metrics(self) -> Any:
+        """A MachineMetrics view merging every node's owning replica."""
+        from repro.metrics.collector import MachineMetrics
+
+        merged = MachineMetrics(self.n_nodes)
+        merged.nodes = [
+            self.node(node_id).metrics for node_id in range(self.n_nodes)
+        ]
+        merged.elapsed = self.elapsed
+        return merged
+
+    def state_hash(self) -> str:
+        """Canonical hash of the merged final state (parity comparator)."""
+        from repro.sim.statehash import state_hash
+
+        return state_hash(self.machines, self.plan.owner)
+
+    def verify(self) -> None:
+        """Post-run checks: quiescence and global mutual exclusion."""
+        for shard in self.shards:
+            shard.front.machine.sim.check_quiescent()
+        checkers = [
+            shard.front.machine.checker
+            for shard in self.shards
+            if shard.front.machine.checker is not None
+        ]
+        for checker in checkers:
+            checker.verify_no_occupancy()
+        # Per-replica checkers only see their own nodes' sections; merge
+        # the spans and re-verify exclusion across shard boundaries.
+        spans: list[tuple[str, float, float, int]] = []
+        for checker in checkers:
+            for span in checker.spans:
+                spans.append((span.lock, span.enter, span.exit, span.node))
+        spans.sort()
+        previous: dict[str, tuple[float, int]] = {}
+        for lock, enter, exit_, node in spans:
+            last = previous.get(lock)
+            if last is not None and enter < last[0]:
+                raise ShardingError(
+                    f"merged mutual exclusion violated on {lock!r}: node "
+                    f"{node} entered at t={enter} before node {last[1]} "
+                    f"exited at t={last[0]}"
+                )
+            previous[lock] = (exit_, node)

@@ -1,0 +1,198 @@
+"""Canonical state hashing for simulated machines.
+
+The sharded kernel's correctness bar is *bit-identical final state*
+versus the serial kernel, so "state" needs one canonical definition that
+both can produce: every node's store slots (value and write count), the
+root-side lock tables, the per-node metrics time buckets and counters,
+the group sequencer positions, and the final simulated clock.  The hash
+is a SHA-256 over a type-tagged, sorted, length-prefixed encoding, so
+two hashes are equal iff the states are structurally identical — dict
+insertion order, float formatting, and container identity never leak in.
+
+The same encoder backs the sweep-determinism tests: comparing two runs
+by ``state_hash`` subsumes the old ad-hoc dict comparisons and catches
+divergence anywhere in the machine, not just in the few fields a test
+thought to look at.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.machine import DSMMachine
+
+
+def _encode(obj: Any, parts: list[bytes]) -> None:
+    """Append a canonical, type-tagged encoding of ``obj`` to ``parts``.
+
+    Supported: None, bool, int, float, str, bytes, and (nested) tuples,
+    lists, sets, and dicts of the same.  Anything else raises — state
+    that cannot be canonicalized cannot be compared across kernels, and
+    silently hashing ``repr`` (which may embed ``id()``) would turn the
+    parity check into a coin flip.
+    """
+    if obj is None:
+        parts.append(b"N")
+    elif obj is True:
+        parts.append(b"T")
+    elif obj is False:
+        parts.append(b"F")
+    elif type(obj) is int:
+        parts.append(b"i%d;" % obj)
+    elif type(obj) is float:
+        # repr() is the shortest round-tripping form: equal bits give
+        # equal text, different bits give different text.
+        parts.append(b"f" + repr(obj).encode("ascii") + b";")
+    elif type(obj) is str:
+        raw = obj.encode("utf-8")
+        parts.append(b"s%d:" % len(raw))
+        parts.append(raw)
+    elif type(obj) is bytes:
+        parts.append(b"b%d:" % len(obj))
+        parts.append(obj)
+    elif type(obj) is tuple or type(obj) is list:
+        parts.append(b"l%d:" % len(obj))
+        for item in obj:
+            _encode(item, parts)
+    elif type(obj) is dict:
+        # Sort by the encoded key so insertion order never matters.
+        encoded: list[tuple[bytes, Any]] = []
+        for key, value in obj.items():
+            key_parts: list[bytes] = []
+            _encode(key, key_parts)
+            encoded.append((b"".join(key_parts), value))
+        encoded.sort(key=lambda kv: kv[0])
+        parts.append(b"d%d:" % len(encoded))
+        for key_bytes, value in encoded:
+            parts.append(key_bytes)
+            _encode(value, parts)
+    elif type(obj) is set or type(obj) is frozenset:
+        members: list[bytes] = []
+        for item in obj:
+            item_parts: list[bytes] = []
+            _encode(item, item_parts)
+            members.append(b"".join(item_parts))
+        members.sort()
+        parts.append(b"S%d:" % len(members))
+        parts.extend(members)
+    else:
+        raise SimulationError(
+            f"cannot canonicalize {type(obj).__name__!r} for state hashing: {obj!r}"
+        )
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """The canonical encoding used by :func:`hash_payload`."""
+    parts: list[bytes] = []
+    _encode(obj, parts)
+    return b"".join(parts)
+
+
+def hash_payload(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``obj``."""
+    return hashlib.sha256(canonical_bytes(obj)).hexdigest()
+
+
+def _node_state(machine: "DSMMachine", node_id: int) -> dict[str, Any]:
+    node = machine.nodes[node_id]
+    store = {
+        name: (slot[0], slot[1]) for name, slot in node.store._slots.items()
+    }
+    metrics = node.metrics
+    return {
+        "store": store,
+        "useful": metrics.useful,
+        "overhead": metrics.overhead,
+        "wasted": metrics.wasted,
+        "counters": dict(metrics.counters),
+    }
+
+
+def _group_state(machine: "DSMMachine", name: str) -> dict[str, Any]:
+    group = machine.groups[name]
+    engine = machine.root_engine(name)
+    locks: dict[str, Any] = {}
+    for lock_name, manager in engine.lock_managers.items():
+        locks[lock_name] = (
+            manager.holder,
+            tuple(manager.queue),
+            manager.grants,
+            manager.releases,
+            manager.max_queue,
+            manager.regrants,
+            manager.cancelled_requests,
+            manager.stale_releases,
+            manager.lease_reclaims,
+            manager.lease_extensions,
+        )
+    return {
+        "root": group.root,
+        "members": tuple(group.members),
+        "sequenced": engine.sequenced,
+        "epoch": engine.epoch,
+        "epoch_start_seq": engine.epoch_start_seq,
+        "locks": locks,
+    }
+
+
+def state_payload(
+    machines: "Sequence[DSMMachine]",
+    owner_of: Sequence[int] | None = None,
+) -> dict[str, Any]:
+    """The canonical state of a machine, possibly sharded across replicas.
+
+    Args:
+        machines: One machine (serial run) or one replica per shard.
+            Replicas must be structurally identical builds of the same
+            machine (same nodes, groups, variables, locks).
+        owner_of: ``node_id -> index into machines`` giving the replica
+            that authoritatively executed each node.  ``None`` (serial)
+            reads everything from ``machines[0]``.
+
+    The payload reads node ``i``'s store and metrics from its owning
+    replica, each group's sequencer and lock tables from the replica
+    owning the group's *root* node, and takes the clock as the max over
+    replicas — the time of the last event executed anywhere, which is
+    exactly the serial kernel's final clock.
+    """
+    if not machines:
+        raise SimulationError("state_payload needs at least one machine")
+    first = machines[0]
+    n_nodes = first.n_nodes
+    if owner_of is None:
+        owner_of = [0] * n_nodes
+    if len(owner_of) != n_nodes:
+        raise SimulationError(
+            f"owner_of has {len(owner_of)} entries for {n_nodes} nodes"
+        )
+    nodes = {
+        node_id: _node_state(machines[owner_of[node_id]], node_id)
+        for node_id in range(n_nodes)
+    }
+    groups = {
+        name: _group_state(machines[owner_of[first.groups[name].root]], name)
+        for name in first.groups
+    }
+    return {
+        "n_nodes": n_nodes,
+        "clock": max(machine.sim.now for machine in machines),
+        "nodes": nodes,
+        "groups": groups,
+    }
+
+
+def state_hash(
+    machines: "Sequence[DSMMachine]",
+    owner_of: Sequence[int] | None = None,
+) -> str:
+    """SHA-256 hex digest of :func:`state_payload`."""
+    return hash_payload(state_payload(machines, owner_of))
+
+
+def machine_state_hash(machine: "DSMMachine") -> str:
+    """Canonical state hash of one (serial) machine after a run."""
+    return state_hash([machine])

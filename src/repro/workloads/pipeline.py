@@ -34,7 +34,13 @@ from repro.core.node import NodeHandle
 from repro.core.section import Section, SectionContext
 from repro.errors import WorkloadError
 from repro.params import PAPER_PARAMS, MachineParams
-from repro.workloads.base import WorkloadResult, build_machine, finish
+from repro.workloads.base import (
+    WorkloadResult,
+    build_machine,
+    finish,
+    run_sharded,
+    shard_fallback_reason,
+)
 
 GROUP = "fig8_group"
 ACC = "shared_block"
@@ -72,6 +78,16 @@ class PipelineConfig:
     topology: str = "mesh_torus"
     #: Optimism threshold override for gwc_optimistic.
     threshold: float | None = None
+    #: Run under the sharded kernel when > 1 (see :mod:`repro.sim.shards`).
+    #: Unshardable configurations fall back to a serial run.
+    shards: int = 1
+    #: ``"optimistic"`` (Time Warp rollback) or ``"conservative"``.
+    shard_policy: str = "optimistic"
+    #: Optional fault schedule (see :mod:`repro.faults.plan`), installed
+    #: on every build — serial and each shard replica alike, so chaos
+    #: runs stay shard-parity-comparable when the plan itself is
+    #: deterministic (probability 1.0, no jitter).
+    fault_plan: "FaultPlan | None" = None  # noqa: F821
 
     @property
     def mutex_time(self) -> float:
@@ -124,13 +140,15 @@ def _stage(node: NodeHandle, system, config: PipelineConfig):
         yield from node.busy(config.local_time, kind="useful")  # C
 
 
-def run_pipeline(config: PipelineConfig) -> WorkloadResult:
-    """Run the Figure 8 pipeline under one consistency system."""
-    if config.data_size % config.n_nodes != 0:
-        raise WorkloadError(
-            f"data_size {config.data_size} must divide evenly among "
-            f"{config.n_nodes} nodes"
-        )
+def _build_pipeline(
+    config: PipelineConfig, owned: "frozenset[int] | None" = None
+):
+    """Build one complete machine for the workload — shard-aware.
+
+    With ``owned=None`` this is the serial build; with an owned node set
+    it is the replica factory for the sharded kernel (spawns only the
+    owned stages, everything else identical and deterministic).
+    """
     system_kwargs = {}
     if config.threshold is not None and config.system == "gwc_optimistic":
         system_kwargs["threshold"] = config.threshold
@@ -142,6 +160,11 @@ def run_pipeline(config: PipelineConfig) -> WorkloadResult:
         topology=config.topology,
         **system_kwargs,
     )
+    machine.shard_owned = owned
+    if config.fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+
+        FaultInjector(machine, config.fault_plan).install()
     machine.create_group(GROUP, root=0)
     # Token variables: pipe_{N-1} starts at 0, which releases node 0's
     # first iteration and starts the pipeline.
@@ -156,11 +179,46 @@ def run_pipeline(config: PipelineConfig) -> WorkloadResult:
     machine.declare_lock(GROUP, LOCK, protects=(ACC,), data_bytes=config.block_bytes)
 
     for node in machine.nodes:
-        machine.spawn(_stage(node, system, config), name=f"stage-{node.id}")
-    result = finish(machine, system)
+        machine.spawn_for(
+            node.id, _stage(node, system, config), name=f"stage-{node.id}"
+        )
+    return machine, system
 
+
+def run_pipeline(config: PipelineConfig) -> WorkloadResult:
+    """Run the Figure 8 pipeline under one consistency system."""
+    if config.data_size % config.n_nodes != 0:
+        raise WorkloadError(
+            f"data_size {config.data_size} must divide evenly among "
+            f"{config.n_nodes} nodes"
+        )
+    fallback = None
+    if config.shards > 1:
+        fallback = shard_fallback_reason(
+            config.system, config.shards, config.params
+        )
+        if fallback is None:
+            result = run_sharded(
+                lambda owned: _build_pipeline(config, owned),
+                config.n_nodes,
+                config.shards,
+                config.shard_policy,
+            )
+            kernel = result.extra.pop("_kernel")
+            nodes = kernel.nodes
+            return _pipeline_extra(config, result, nodes)
+    machine, system = _build_pipeline(config)
+    result = finish(machine, system)
+    if fallback is not None:
+        result.extra["shard_fallback"] = fallback
+    return _pipeline_extra(config, result, machine.nodes)
+
+
+def _pipeline_extra(
+    config: PipelineConfig, result: WorkloadResult, nodes
+) -> WorkloadResult:
     expected_acc = sum(range(1, config.data_size + 1))
-    final_acc = max(node.store.read(ACC) for node in machine.nodes)
+    final_acc = max(node.store.read(ACC) for node in nodes)
     result.extra.update(
         network_power=result.speedup,
         ideal_power=config.ideal_power(),

@@ -33,7 +33,13 @@ from repro.core.node import NodeHandle
 from repro.core.section import Section, SectionContext
 from repro.errors import WorkloadError
 from repro.params import PAPER_PARAMS, MachineParams
-from repro.workloads.base import WorkloadResult, build_machine, finish
+from repro.workloads.base import (
+    WorkloadResult,
+    build_machine,
+    finish,
+    run_sharded,
+    shard_fallback_reason,
+)
 
 GROUP = "fig2_group"
 PRODUCED = "produced"
@@ -61,6 +67,16 @@ class TaskQueueConfig:
     params: MachineParams = PAPER_PARAMS
     seed: int = 0
     topology: str = "mesh_torus"
+    #: Run under the sharded kernel when > 1 (see :mod:`repro.sim.shards`).
+    #: Unshardable configurations fall back to a serial run.
+    shards: int = 1
+    #: ``"optimistic"`` (Time Warp rollback) or ``"conservative"``.
+    shard_policy: str = "optimistic"
+    #: Optional fault schedule (see :mod:`repro.faults.plan`), installed
+    #: on every build — serial and each shard replica alike, so chaos
+    #: runs stay shard-parity-comparable when the plan itself is
+    #: deterministic (probability 1.0, no jitter).
+    fault_plan: "FaultPlan | None" = None  # noqa: F821
 
     @property
     def produce_time(self) -> float:
@@ -136,10 +152,16 @@ def _consumer(node: NodeHandle, system, config: TaskQueueConfig):
     node.locals["_executed"] = executed
 
 
-def run_task_queue(config: TaskQueueConfig) -> WorkloadResult:
-    """Run the Figure 2 workload under one consistency system."""
-    if config.n_nodes < 2:
-        raise WorkloadError("task queue needs a producer and >= 1 consumer")
+def _build_task_queue(
+    config: TaskQueueConfig, owned: "frozenset[int] | None" = None
+):
+    """Build one complete machine for the workload — shard-aware.
+
+    With ``owned=None`` this is the serial build.  With an owned node
+    set it builds the same machine deterministically but only spawns the
+    owned nodes' processes (:meth:`DSMMachine.spawn_for`), making it the
+    replica factory for :class:`~repro.sim.shards.ShardedSimulator`.
+    """
     machine, system = build_machine(
         config.system,
         config.n_nodes,
@@ -147,6 +169,11 @@ def run_task_queue(config: TaskQueueConfig) -> WorkloadResult:
         seed=config.seed,
         topology=config.topology,
     )
+    machine.shard_owned = owned
+    if config.fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+
+        FaultInjector(machine, config.fault_plan).install()
     machine.create_group(GROUP, root=0)
     machine.declare_variable(GROUP, PRODUCED, 0)
     machine.declare_variable(GROUP, TAKEN, 0, mutex_lock=LOCK)
@@ -157,12 +184,47 @@ def run_task_queue(config: TaskQueueConfig) -> WorkloadResult:
     machine.declare_lock(GROUP, LOCK, protects=(TAKEN, COMPLETED), data_bytes=768)
 
     producer = machine.nodes[0]
-    machine.spawn(_producer(producer, system, config), name="producer")
+    machine.spawn_for(0, _producer(producer, system, config), name="producer")
     for node in machine.nodes[1:]:
-        machine.spawn(_consumer(node, system, config), name=f"consumer-{node.id}")
-    result = finish(machine, system)
+        machine.spawn_for(
+            node.id, _consumer(node, system, config), name=f"consumer-{node.id}"
+        )
+    return machine, system
 
+
+def run_task_queue(config: TaskQueueConfig) -> WorkloadResult:
+    """Run the Figure 2 workload under one consistency system."""
+    if config.n_nodes < 2:
+        raise WorkloadError("task queue needs a producer and >= 1 consumer")
+    fallback = None
+    if config.shards > 1:
+        fallback = shard_fallback_reason(
+            config.system, config.shards, config.params
+        )
+        if fallback is None:
+            result = run_sharded(
+                lambda owned: _build_task_queue(config, owned),
+                config.n_nodes,
+                config.shards,
+                config.shard_policy,
+            )
+            kernel = result.extra.pop("_kernel")
+            executed = sum(
+                kernel.node(i).locals.get("_executed", 0)
+                for i in range(1, config.n_nodes)
+            )
+            return _task_queue_extra(config, result, executed=executed)
+    machine, system = _build_task_queue(config)
+    result = finish(machine, system)
+    if fallback is not None:
+        result.extra["shard_fallback"] = fallback
     executed = sum(node.locals.get("_executed", 0) for node in machine.nodes[1:])
+    return _task_queue_extra(config, result, executed=executed)
+
+
+def _task_queue_extra(
+    config: TaskQueueConfig, result: WorkloadResult, executed: int
+) -> WorkloadResult:
     result.extra.update(
         total_tasks=config.total_tasks,
         executed=executed,

@@ -1,0 +1,231 @@
+"""Sharded-kernel parity: bit-identical final state vs serial runs.
+
+The sharded Time Warp kernel (:mod:`repro.sim.shards`) is only allowed
+to exist because it changes *nothing* observable: every test here runs
+the same workload serially and sharded and compares canonical state
+hashes (:mod:`repro.sim.statehash`), across shard counts, both sync
+policies, multiple topologies and seeds, and under deterministic fault
+plans — including a node crash landing mid-optimism-window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.section import Section
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, crash, delay
+from repro.workloads import counter as counter_wl
+from repro.workloads.base import build_machine, finish, run_sharded
+from repro.workloads.pipeline import PipelineConfig, run_pipeline
+from repro.workloads.task_queue import TaskQueueConfig, run_task_queue
+
+POLICIES = ("optimistic", "conservative")
+
+
+def _tq(shards: int = 1, policy: str = "optimistic", **overrides):
+    config = TaskQueueConfig(
+        n_nodes=overrides.pop("n_nodes", 5),
+        total_tasks=overrides.pop("total_tasks", 24),
+        shards=shards,
+        shard_policy=policy,
+        **overrides,
+    )
+    return run_task_queue(config)
+
+
+def _pipe(shards: int = 1, policy: str = "optimistic", **overrides):
+    config = PipelineConfig(
+        n_nodes=overrides.pop("n_nodes", 4),
+        data_size=overrides.pop("data_size", 32),
+        shards=shards,
+        shard_policy=policy,
+        **overrides,
+    )
+    return run_pipeline(config)
+
+
+def _assert_parity(serial, sharded, shards: int):
+    __tracebackhide__ = True
+    assert sharded.extra["state_hash"] == serial.extra["state_hash"]
+    assert sharded.extra["shards"] == shards
+    assert sharded.elapsed == serial.elapsed
+    assert sharded.speedup == pytest.approx(serial.speedup)
+
+
+class TestTaskQueueParity:
+    @pytest.mark.parametrize("n_nodes", [3, 5])
+    @pytest.mark.parametrize("shards", [2, 3])
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_mesh(self, n_nodes, shards, policy):
+        serial = _tq(n_nodes=n_nodes)
+        sharded = _tq(shards=shards, policy=policy, n_nodes=n_nodes)
+        _assert_parity(serial, sharded, min(shards, n_nodes))
+        assert sharded.extra["all_executed"]
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_ring(self, policy):
+        serial = _tq(n_nodes=5, topology="ring")
+        sharded = _tq(shards=2, policy=policy, n_nodes=5, topology="ring")
+        _assert_parity(serial, sharded, 2)
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_seeds(self, seed):
+        serial = _tq(n_nodes=5, seed=seed)
+        sharded = _tq(shards=2, policy="optimistic", n_nodes=5, seed=seed)
+        _assert_parity(serial, sharded, 2)
+
+
+class TestPipelineParity:
+    @pytest.mark.parametrize("system", ["gwc", "gwc_optimistic"])
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_four_nodes_two_shards(self, system, policy):
+        serial = _pipe(system=system)
+        sharded = _pipe(shards=2, policy=policy, system=system)
+        _assert_parity(serial, sharded, 2)
+        assert sharded.extra["acc_correct"]
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_eight_nodes_four_shards(self, policy):
+        serial = _pipe(n_nodes=8, data_size=64, system="gwc_optimistic")
+        sharded = _pipe(
+            shards=4,
+            policy=policy,
+            n_nodes=8,
+            data_size=64,
+            system="gwc_optimistic",
+        )
+        _assert_parity(serial, sharded, 4)
+
+
+class TestRollbackBehaviour:
+    def test_optimistic_task_queue_actually_rolls_back(self):
+        # The contended task queue must exercise the Time Warp path —
+        # a run with zero stragglers would make the parity tests above
+        # vacuous for the rollback machinery.
+        sharded = _tq(shards=2, policy="optimistic", n_nodes=5)
+        stats = sharded.extra["shard_stats"]
+        assert stats["stragglers"] > 0
+        assert stats["rollbacks"] > 0
+        assert stats["replayed"] > 0
+        assert stats["routed"] > 0
+        assert stats["rollback_ratio"] > 0.0
+
+    def test_conservative_never_rolls_back(self):
+        sharded = _tq(shards=2, policy="conservative", n_nodes=5)
+        stats = sharded.extra["shard_stats"]
+        assert stats["stragglers"] == 0
+        assert stats["rollbacks"] == 0
+        assert stats["annihilated"] == 0
+
+
+class TestFaultPlanParity:
+    DELAY_PLAN = FaultPlan(
+        [delay(200e-6, extra=40e-6, until=2000e-6, probability=1.0)], seed=3
+    )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_deterministic_delay_plan(self, policy):
+        # probability=1.0 with zero jitter draws no randomness, so the
+        # same plan installed on every replica replays bit-identically.
+        serial = _tq(n_nodes=5, fault_plan=self.DELAY_PLAN)
+        sharded = _tq(
+            shards=2, policy=policy, n_nodes=5, fault_plan=self.DELAY_PLAN
+        )
+        _assert_parity(serial, sharded, 2)
+
+
+class TestCrashMidOptimismWindow:
+    """A node crash landing inside the optimism window.
+
+    The task queue cannot survive losing a consumer (its claimed task is
+    never reported and the producer waits forever), so this uses the
+    shared-counter kernel with the crashed node's process tracked by the
+    injector: the crash kills the generator, the survivors keep
+    incrementing, and the run quiesces with a deterministic, reduced
+    final count — which the sharded run must reproduce exactly even
+    though the crash fires while shards are speculating past GVT.
+    """
+
+    N_NODES = 6
+    PLAN = FaultPlan([crash(35e-6, node=4)], seed=2)
+    CONFIG = counter_wl.CounterConfig(n_nodes=N_NODES, increments_per_node=6)
+    SECTION = Section(
+        lock=counter_wl.LOCK,
+        body=counter_wl._increment_body,
+        shared_reads=(counter_wl.COUNTER,),
+        shared_writes=(counter_wl.COUNTER,),
+        label="counter-increment",
+    )
+
+    @classmethod
+    def _build(cls, owned):
+        machine, system = build_machine("gwc", cls.N_NODES, seed=0)
+        machine.shard_owned = owned
+        injector = FaultInjector(machine, cls.PLAN)
+        injector.install()
+        machine.create_group(counter_wl.GROUP)
+        machine.declare_variable(
+            counter_wl.GROUP, counter_wl.COUNTER, 0, mutex_lock=counter_wl.LOCK
+        )
+        machine.declare_lock(
+            counter_wl.GROUP,
+            counter_wl.LOCK,
+            protects=(counter_wl.COUNTER,),
+            data_bytes=8,
+        )
+        for node in machine.nodes:
+            node.locals["_update_time"] = cls.CONFIG.update_time
+            process = machine.spawn_for(
+                node.id,
+                counter_wl._worker(node, system, cls.CONFIG, cls.SECTION),
+                name=f"counter-{node.id}",
+            )
+            if process is not None:
+                injector.track_process(node.id, process)
+        return machine, system
+
+    def _serial(self):
+        machine, system = self._build(None)
+        result = finish(machine, system)
+        result.extra["final"] = machine.nodes[0].store.read(counter_wl.COUNTER)
+        return result
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_crash_parity(self, policy):
+        serial = self._serial()
+        expected = self.N_NODES * self.CONFIG.increments_per_node
+        # The crash really bites: node 4 loses increments.
+        assert 0 < serial.extra["final"] < expected
+        sharded = run_sharded(self._build, self.N_NODES, 2, policy)
+        kernel = sharded.extra.pop("_kernel")
+        assert sharded.extra["state_hash"] == serial.extra["state_hash"]
+        assert kernel.node(0).store.read(counter_wl.COUNTER) == serial.extra["final"]
+
+    def test_crash_lands_mid_window_under_optimism(self):
+        sharded = run_sharded(self._build, self.N_NODES, 2, "optimistic")
+        sharded.extra.pop("_kernel")
+        # Speculation continues across the crash: rollbacks occur both
+        # before and after it, proving the fault fired inside (not
+        # between) optimism windows.
+        assert sharded.extra["shard_stats"]["rollbacks"] > 0
+
+
+class TestShardFallbacks:
+    def test_entry_consistency_falls_back_to_serial(self):
+        result = _tq(shards=2, system="entry", n_nodes=3, total_tasks=8)
+        assert "message-pure" in result.extra["shard_fallback"]
+        assert "shards" not in result.extra  # ran the serial path
+
+    def test_single_shard_is_plain_serial(self):
+        result = _tq(shards=1, n_nodes=3, total_tasks=8)
+        assert "shard_fallback" not in result.extra
+        assert "shards" not in result.extra
+
+    def test_zero_delay_params_fall_back(self):
+        from repro.params import PAPER_PARAMS
+
+        result = _tq(
+            shards=2, n_nodes=3, total_tasks=8, params=PAPER_PARAMS.zero_delay()
+        )
+        assert "lookahead" in result.extra["shard_fallback"]

@@ -1,0 +1,386 @@
+"""Unit tests for the sharded Time Warp kernel's building blocks.
+
+Covers the pure pieces in isolation: :class:`ShardPlan` partitioning,
+the caller-keyed event queue API (``push_at_key`` / ``run_window``),
+anti-message annihilation, straggler classification at the exact
+checkpoint boundary, and the cascading-rollback fixpoint.  End-to-end
+serial-parity runs live in ``tests/integration/test_shard_parity.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShardingError
+from repro.net.message import Message
+from repro.sim.event import (
+    PRIORITY_ARRIVAL_BAND,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    Event,
+    EventQueue,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.shards import (
+    _ANNIHILATED,
+    _DELIVERED,
+    _DELIVERY_PRIORITY,
+    _EXECUTED,
+    _PRIORITY_CEILING,
+    DEFAULT_WINDOW_FACTOR,
+    ShardedSimulator,
+    ShardPlan,
+    ShardStats,
+    _Delivery,
+)
+from repro.workloads.base import build_machine
+from repro.workloads.task_queue import TaskQueueConfig, _build_task_queue
+
+
+class TestShardPlan:
+    def test_even_split_without_groups(self):
+        plan = ShardPlan.from_groups(8, 2)
+        assert plan.owner == (0, 0, 0, 0, 1, 1, 1, 1)
+        assert plan.n_shards == 2
+        assert plan.owned(1) == frozenset({4, 5, 6, 7})
+
+    def test_shard_ids_dense_and_node_zero_first(self):
+        for n_nodes, n_shards in [(5, 2), (9, 4), (7, 3), (3, 3)]:
+            plan = ShardPlan.from_groups(n_nodes, n_shards)
+            assert plan.owner[0] == 0
+            assert sorted(set(plan.owner)) == list(range(plan.n_shards))
+
+    def test_more_shards_than_nodes_clamps(self):
+        plan = ShardPlan.from_groups(3, 8)
+        assert plan.n_shards <= 3
+        assert plan.n_nodes == 3
+
+    def test_group_members_colocate_when_they_fit(self):
+        plan = ShardPlan.from_groups(6, 2, groups=[(0, 3), (1, 4)])
+        assert plan.shard_of(0) == plan.shard_of(3)
+        assert plan.shard_of(1) == plan.shard_of(4)
+        assert plan.n_shards == 2
+
+    def test_oversized_cluster_splits_contiguously(self):
+        # One machine-wide group cannot fit any shard's quota; it must
+        # stream across shards in contiguous blocks.
+        plan = ShardPlan.from_groups(6, 3, groups=[range(6)])
+        assert plan.owner == (0, 0, 1, 1, 2, 2)
+
+    def test_shard_of_matches_owned(self):
+        plan = ShardPlan.from_groups(9, 3, groups=[(0, 1, 2, 3)])
+        for node in range(9):
+            assert node in plan.owned(plan.shard_of(node))
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ShardingError):
+            ShardPlan.from_groups(0, 2)
+        with pytest.raises(ShardingError):
+            ShardPlan.from_groups(4, 0)
+        with pytest.raises(ShardingError):
+            ShardPlan(())
+        with pytest.raises(ShardingError):
+            ShardPlan((0, 2))  # ids must be dense from 0
+
+
+class TestArrivalBandKeys:
+    def test_band_sorts_before_every_local_priority(self):
+        assert PRIORITY_ARRIVAL_BAND < PRIORITY_URGENT < PRIORITY_NORMAL
+        assert PRIORITY_ARRIVAL_BAND < -1
+
+    def test_push_at_key_orders_tokens_in_send_order(self):
+        queue = EventQueue()
+        fired: list[str] = []
+        # Three same-instant arrivals with shuffled send-order tokens,
+        # plus a same-time local event: arrivals fire first, in token
+        # (send time, src, idx) order.
+        queue.push(1.0, lambda: fired.append("local"))
+        queue.push_at_key(
+            1.0, PRIORITY_ARRIVAL_BAND, (0.7, 2, 0), lambda: fired.append("b")
+        )
+        queue.push_at_key(
+            1.0, PRIORITY_ARRIVAL_BAND, (0.5, 4, 1), lambda: fired.append("a")
+        )
+        queue.push_at_key(
+            1.0, PRIORITY_ARRIVAL_BAND, (0.7, 2, 3), lambda: fired.append("c")
+        )
+        while queue:
+            queue.pop().fn()
+        assert fired == ["a", "b", "c", "local"]
+
+    def test_push_at_key_is_cancellable(self):
+        queue = EventQueue()
+        fired: list[str] = []
+        event = queue.push_at_key(
+            1.0, PRIORITY_ARRIVAL_BAND, (0.5, 0, 0), lambda: fired.append("x")
+        )
+        queue.push(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        assert len(queue) == 1
+        while queue:
+            queue.pop().fn()
+        assert fired == ["kept"]
+
+    def test_identical_keys_tolerated(self):
+        # A rolled-back shard re-emits an annihilated delivery under the
+        # *identical* replayed key while the cancelled original is still
+        # in the heap; the heap then compares the Event objects.
+        assert not Event(1.0, 0, 0, lambda: None) < Event(1.0, 0, 0, lambda: None)
+        queue = EventQueue()
+        fired: list[str] = []
+        key = (1.0, PRIORITY_ARRIVAL_BAND, (0.5, 0, 0))
+        original = queue.push_at_key(*key, lambda: fired.append("original"))
+        original.cancel()
+        queue.push_at_key(*key, lambda: fired.append("replacement"))
+        while queue:
+            queue.pop().fn()
+        assert fired == ["replacement"]
+
+
+class TestRunWindow:
+    def _sim(self) -> Simulator:
+        return Simulator()
+
+    def test_limit_key_is_exclusive(self):
+        # The coast-forward contract: restoring to straggler key K must
+        # replay everything strictly below K and nothing at or above it.
+        sim = self._sim()
+        fired: list[str] = []
+        key = (2.0, PRIORITY_ARRIVAL_BAND, (1.5, 0, 0))
+        sim._queue.push(1.0, lambda: fired.append("before"))
+        sim._queue.push_at_key(*key, lambda: fired.append("at-limit"))
+        sim._queue.push(3.0, lambda: fired.append("after"))
+        count, last = sim.run_window(key)
+        assert fired == ["before"]
+        assert count == 1
+        assert last == (1.0, PRIORITY_NORMAL, 0)
+        # The event exactly at the limit fires on the next window.
+        count, last = sim.run_window((3.0, -_PRIORITY_CEILING, 0))
+        assert fired == ["before", "at-limit"]
+        assert last == key
+
+    def test_time_only_horizon_excludes_whole_instant(self):
+        sim = self._sim()
+        fired: list[int] = []
+        sim._queue.push(1.0, lambda: fired.append(1))
+        sim._queue.push_at_key(
+            2.0, PRIORITY_ARRIVAL_BAND, (1.0, 0, 0), lambda: fired.append(2)
+        )
+        # A (t, -ceiling, 0) horizon sorts below every real key at t,
+        # including arrival-band keys: nothing at t fires.
+        count, _last = sim.run_window((2.0, -_PRIORITY_CEILING, 0))
+        assert fired == [1]
+        assert count == 1
+
+    def test_max_events_budget_stops_early(self):
+        sim = self._sim()
+        fired: list[int] = []
+        for i in range(6):
+            sim._queue.push(float(i + 1), lambda i=i: fired.append(i))
+        count, last = sim.run_window((100.0, 0, 0), max_events=2)
+        assert count == 2
+        assert fired == [0, 1]
+        assert last == (2.0, PRIORITY_NORMAL, 1)
+
+    def test_current_key_tracks_executing_event(self):
+        sim = self._sim()
+        seen: list[tuple] = []
+        sim._queue.push(1.0, lambda: seen.append(sim.current_key))
+        sim.run_window((2.0, 0, 0))
+        assert seen == [(1.0, PRIORITY_NORMAL, 0)]
+
+
+def _delivery(key, emit_key, src_shard=0, dst_shard=1) -> _Delivery:
+    msg = Message(0, 3, "test.kind", payload=None, size_bytes=16)
+    msg.sent_at = key[2][0] if isinstance(key[2], tuple) else key[0]
+    return _Delivery(key, emit_key, src_shard, dst_shard, msg)
+
+
+class TestAntiMessages:
+    def test_annihilate_pending_delivery_cancels_its_event(self):
+        queue = EventQueue()
+        record = _delivery(
+            (1.0, _DELIVERY_PRIORITY, (0.5, 0, 0)), (0.5, 0, 0)
+        )
+        record.event = queue.push_at_key(*record.key, lambda: None)
+        record.state = _DELIVERED
+        assert record.annihilate() is False
+        assert record.state == _ANNIHILATED
+        assert record.event is None
+        assert len(queue) == 0  # the heap entry is a skipped no-op
+
+    def test_annihilate_executed_delivery_reports_cascade(self):
+        record = _delivery(
+            (1.0, _DELIVERY_PRIORITY, (0.5, 0, 0)), (0.5, 0, 0)
+        )
+        record.state = _EXECUTED
+        assert record.annihilate() is True
+        assert record.state == _ANNIHILATED
+
+    def test_annihilate_is_idempotent_on_cancelled(self):
+        record = _delivery(
+            (1.0, _DELIVERY_PRIORITY, (0.5, 0, 0)), (0.5, 0, 0)
+        )
+        record.state = _DELIVERED
+        assert record.annihilate() is False
+        assert record.annihilate() is False
+
+
+def _task_queue_kernel(
+    n_nodes: int = 5, shards: int = 2, policy: str = "optimistic"
+) -> ShardedSimulator:
+    config = TaskQueueConfig(n_nodes=n_nodes, total_tasks=4)
+    plan = ShardPlan.from_groups(n_nodes, shards)
+    return ShardedSimulator(
+        lambda owned: _build_task_queue(config, owned), plan, policy=policy
+    )
+
+
+class TestShardedSimulatorConfig:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ShardingError, match="sync policy"):
+            _task_queue_kernel(policy="yolo")
+
+    def test_window_factor_below_one_rejected(self):
+        config = TaskQueueConfig(n_nodes=5, total_tasks=4)
+        with pytest.raises(ShardingError, match="window_factor"):
+            ShardedSimulator(
+                lambda owned: _build_task_queue(config, owned),
+                ShardPlan.from_groups(5, 2),
+                window_factor=0.5,
+            )
+
+    def test_conservative_window_equals_lookahead(self):
+        kernel = _task_queue_kernel(policy="conservative")
+        assert kernel.lookahead > 0
+        assert kernel.window == kernel.lookahead
+        assert all(shard.base is None for shard in kernel.shards)
+
+    def test_optimistic_window_is_lookahead_multiple(self):
+        kernel = _task_queue_kernel(policy="optimistic")
+        assert kernel.window == kernel.lookahead * DEFAULT_WINDOW_FACTOR
+        assert all(shard.base is not None for shard in kernel.shards)
+
+    def test_unshardable_system_rejected(self):
+        def factory(owned):
+            machine, system = build_machine("entry", 4)
+            machine.shard_owned = owned
+            return machine, system
+
+        with pytest.raises(ShardingError, match="not.*shardable|shardable"):
+            ShardedSimulator(factory, ShardPlan.from_groups(4, 2))
+
+    def test_factory_must_honour_owned_set(self):
+        def factory(owned):
+            machine, system = build_machine("gwc", 4)
+            machine.shard_owned = frozenset({0})  # ignores `owned`
+            return machine, system
+
+        with pytest.raises(ShardingError, match="shard_owned"):
+            ShardedSimulator(factory, ShardPlan.from_groups(4, 2))
+
+
+class TestStragglerClassification:
+    def test_arrival_exactly_at_lvt_is_a_straggler(self, monkeypatch):
+        # The boundary case: a delivery whose key EQUALS the shard's
+        # last executed key arrives in the executed past (key order is
+        # execution order), so `<=` — not `<` — is the straggler test.
+        kernel = _task_queue_kernel()
+        injected: list[_Delivery] = []
+        monkeypatch.setattr(
+            _Delivery, "inject", lambda self, machine: injected.append(self)
+        )
+        dst = next(iter(kernel.shards[1].owned))
+        token = (0.5, 0, 0)
+        key = (1.0, _DELIVERY_PRIORITY, token)
+        kernel.shards[1].front.lvt = key
+        msg = Message(0, dst, "test.kind", payload=None, size_bytes=16)
+        kernel.shards[0].front.router.outbox.append(
+            (msg, 1.0, 1, token, (0.5, 0, 0))
+        )
+        stragglers = kernel._route_round()
+        assert stragglers == {1: key}
+        assert kernel.stats.stragglers == 1
+        assert injected == []  # stragglers are not injected pre-rollback
+
+    def test_arrival_just_past_lvt_is_injected_normally(self, monkeypatch):
+        kernel = _task_queue_kernel()
+        injected: list[_Delivery] = []
+        monkeypatch.setattr(
+            _Delivery, "inject", lambda self, machine: injected.append(self)
+        )
+        dst = next(iter(kernel.shards[1].owned))
+        token = (0.5, 0, 1)
+        kernel.shards[1].front.lvt = (1.0, _DELIVERY_PRIORITY, (0.5, 0, 0))
+        msg = Message(0, dst, "test.kind", payload=None, size_bytes=16)
+        kernel.shards[0].front.router.outbox.append(
+            (msg, 1.0, 1, token, (0.5, 0, 0))
+        )
+        stragglers = kernel._route_round()
+        assert stragglers == {}
+        assert kernel.stats.stragglers == 0
+        assert [record.key for record in injected] == [
+            (1.0, _DELIVERY_PRIORITY, token)
+        ]
+
+
+class TestCascadingRollback:
+    def test_executed_anti_message_cascades_to_consumer(self, monkeypatch):
+        # Shard 0 rolls back past an emission shard 1 already executed;
+        # annihilating it must roll shard 1 back too (and shard 1's own
+        # speculative emission back toward shard 0 must also die).
+        kernel = _task_queue_kernel()
+        restored: list[tuple[int, tuple]] = []
+        monkeypatch.setattr(
+            kernel,
+            "_restore",
+            lambda shard, target: restored.append((shard.index, target)),
+        )
+        target0 = (1.0, _DELIVERY_PRIORITY, (0.9, 0, 0))
+        r1 = _delivery(
+            (2.0, _DELIVERY_PRIORITY, (1.5, 0, 1)),
+            emit_key=(1.5, 0, 3),
+            src_shard=0,
+            dst_shard=1,
+        )
+        r1.state = _EXECUTED
+        committed = _delivery(
+            (0.9, _DELIVERY_PRIORITY, (0.4, 0, 0)),
+            emit_key=(0.4, 0, 1),
+            src_shard=0,
+            dst_shard=1,
+        )
+        committed.state = _EXECUTED
+        kernel.shards[0].outputs.extend([committed, r1])
+        r2 = _delivery(
+            (3.0, _DELIVERY_PRIORITY, (2.6, 3, 0)),
+            emit_key=(2.6, 0, 9),
+            src_shard=1,
+            dst_shard=0,
+        )
+        r2.state = _EXECUTED
+        kernel.shards[1].outputs.append(r2)
+        kernel._rollback({0: target0}, gvt=0.0)
+        assert r1.state == _ANNIHILATED
+        assert r2.state == _ANNIHILATED
+        # The emission committed before the rollback point survives.
+        assert committed.state == _EXECUTED
+        assert kernel.stats.annihilated == 2
+        assert kernel.stats.rollbacks == 2
+        assert sorted(index for index, _ in restored) == [0, 1]
+        # Each shard restores to the earliest key that invalidated it.
+        targets = dict(restored)
+        assert targets[0] == target0
+        assert targets[1] == r1.key
+
+
+class TestShardStats:
+    def test_rollback_ratio(self):
+        stats = ShardStats()
+        assert stats.rollback_ratio() == 0.0
+        stats.executed = 100
+        stats.replayed = 25
+        assert stats.rollback_ratio() == 0.25
+        summary = stats.summary()
+        assert summary["executed"] == 100
+        assert summary["rollback_ratio"] == 0.25
