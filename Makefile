@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test chaos-smoke failover-smoke shard-smoke bench bench-full bench-json perf-smoke profile examples figures all clean
+.PHONY: install test chaos-smoke failover-smoke shard-smoke goldens verify-goldens bench bench-full bench-json perf-smoke profile examples figures all clean
 
 install:
 	$(PY) setup.py develop
@@ -27,6 +27,18 @@ failover-smoke:
 shard-smoke:
 	PYTHONPATH=src $(PY) -m repro shard-smoke
 	PYTHONPATH=src $(PY) -m repro shard-smoke --shards 4
+
+# Continuous-verify drift gate: regenerate every golden surface and
+# compare bit-for-bit against the committed goldens/ tree.  Exit 0
+# clean, 1 drift (with per-file / per-field report), 2 usage.
+verify-goldens:
+	PYTHONPATH=src $(PY) -m repro verify-goldens
+
+# Rewrite the committed goldens after a reviewed semantic change.  The
+# REPRO_REGEN_GOLDENS=1 kill-switch is mandatory; without it the target
+# refuses (exit 2).  Commit the printed diff summary with the PR.
+goldens:
+	REPRO_REGEN_GOLDENS=1 PYTHONPATH=src $(PY) -m repro update-goldens
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -295,8 +295,17 @@ def collect_snapshot() -> dict:
 
 
 def write_snapshot() -> dict:
+    """Measure and atomically (re)write ``BENCH_kernel.json``.
+
+    The write goes through the crash-safe goldens writer, so a snapshot
+    on disk is always complete — never a truncated JSON a reader (or
+    the ``bench_kernel`` golden surface, which hashes this file minus
+    its volatile host/timing fields) could half-parse.
+    """
+    from repro.goldens.writer import atomic_write_text
+
     snapshot = collect_snapshot()
-    BENCH_JSON.write_text(json.dumps(snapshot, indent=2) + "\n")
+    atomic_write_text(BENCH_JSON, json.dumps(snapshot, indent=2) + "\n")
     return snapshot
 
 

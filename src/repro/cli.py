@@ -13,6 +13,12 @@ Usage::
     python -m repro burst [--sizes 1,2,4,8,0] [--nodes N] [--csv F]
     python -m repro chaos [--smoke] [--scenario crash_holder|...|mixed]
                           [--systems gwc,...] [--seeds N] [--csv F]
+    python -m repro verify-goldens [--only figure2,chaos] [--dir D]
+    python -m repro update-goldens   # needs REPRO_REGEN_GOLDENS=1
+
+Exit codes are uniform across commands: 0 = clean, 1 = a check failed
+(expectation miss, chaos stall/invariant, golden drift), 2 = usage
+error (unknown scenario/system/surface, missing kill-switch).
 
 Every command prints the same rows/series the paper's figure reports,
 followed by the qualitative expectation checklist.
@@ -256,23 +262,13 @@ def _cmd_grouping(args: argparse.Namespace) -> int:
 
 def _chaos_combos(args: argparse.Namespace) -> list[tuple[str, str, str]]:
     """Expand the chaos flags into (system, workload, scenario) runs."""
-    from repro.faults.chaos import GWC_FAMILY, SCENARIOS
+    from repro.faults.chaos import GWC_FAMILY, SCENARIOS, SMOKE_MATRIX
 
     if args.smoke:
-        # A fixed, deterministic mini-matrix covering every scenario,
+        # The fixed, deterministic mini-matrix covering every scenario,
         # both workloads, and a non-GWC system.  Keep it fast: this runs
-        # inside the default `make test`.
-        return [
-            ("gwc", "counter", "crash_holder"),
-            ("gwc_optimistic", "counter", "crash_holder"),
-            ("gwc", "counter", "crash_root"),
-            ("gwc_optimistic", "counter", "crash_root"),
-            ("gwc", "counter", "churn"),
-            ("gwc", "counter", "partition"),
-            ("gwc", "counter", "duplicate"),
-            ("gwc", "task_queue", "delay"),
-            ("release", "counter", "delay"),
-        ]
+        # inside the default `make test` (and feeds the chaos goldens).
+        return list(SMOKE_MATRIX)
     systems = [name for name in args.systems.split(",") if name]
     combos: list[tuple[str, str, str]] = []
     if args.scenario == "mixed":
@@ -291,9 +287,58 @@ def _chaos_combos(args: argparse.Namespace) -> list[tuple[str, str, str]]:
     return combos
 
 
+def _chaos_usage_errors(args: argparse.Namespace) -> list[str]:
+    """Validate chaos flags; non-empty means a usage error (exit 2)."""
+    from repro.faults.chaos import GWC_FAMILY, SCENARIOS
+
+    errors: list[str] = []
+    if not args.smoke:
+        if args.scenario not in SCENARIOS + ("mixed",):
+            errors.append(
+                f"unknown scenario {args.scenario!r}; known: "
+                f"{', '.join(SCENARIOS + ('mixed',))}"
+            )
+        if args.workload not in ("counter", "task_queue"):
+            errors.append(
+                f"unknown workload {args.workload!r}; known: counter, task_queue"
+            )
+        known_systems = set(system_names())
+        requested = [name for name in args.systems.split(",") if name]
+        unknown = [name for name in requested if name not in known_systems]
+        if unknown:
+            errors.append(
+                f"unknown system(s) {', '.join(unknown)}; known: "
+                f"{', '.join(sorted(known_systems))}"
+            )
+        if args.scenario != "mixed" and not errors:
+            non_gwc = [s for s in requested if s not in GWC_FAMILY]
+            if args.scenario != "delay" and non_gwc:
+                errors.append(
+                    f"scenario {args.scenario!r} needs the GWC-family "
+                    f"recovery stack; {', '.join(non_gwc)} only support "
+                    "'delay'"
+                )
+            if args.workload == "task_queue" and args.scenario in (
+                "crash_holder",
+                "crash_root",
+                "churn",
+            ):
+                errors.append(
+                    "crash scenarios are only meaningful on the counter "
+                    "workload"
+                )
+    return errors
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.faults.chaos import ChaosConfig, run_chaos
+    from repro.faults.chaos import ChaosConfig, chaos_csv_row, run_chaos
     from repro.metrics.export import write_csv
+
+    usage = _chaos_usage_errors(args)
+    if usage:
+        for error in usage:
+            print(f"chaos: {error}", file=sys.stderr)
+        return 2
 
     combos = _chaos_combos(args)
     seeds = range(args.seed, args.seed + (1 if args.smoke else args.seeds))
@@ -345,37 +390,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 result.dropped,
             ]
         )
-        csv_rows.append(
-            {
-                "system": cfg.system,
-                "workload": cfg.workload,
-                "scenario": cfg.scenario,
-                "seed": cfg.seed,
-                "ok": result.ok,
-                "final_counter": result.final_counter,
-                "chain_length": result.chain_length,
-                "converged": result.converged,
-                "lock_requests": result.lock_requests,
-                "lock_timeouts": result.lock_timeouts,
-                "lock_retries": result.lock_retries,
-                "lock_reclaims": summary["lock_reclaims"],
-                "failovers": summary["failovers"],
-                "stale_epoch_discards": summary["stale_epoch_discards"],
-                "rerouted_requests": summary["rerouted_requests"],
-                "window_discards": summary["window_discards"],
-                "recovery_time_mean_s": (
-                    sum(result.recovery_times) / len(result.recovery_times)
-                    if result.recovery_times
-                    else 0.0
-                ),
-                "messages": result.messages,
-                "dropped": result.dropped,
-                "fault_dropped": summary["fault_dropped"],
-                "fault_delayed": summary["fault_delayed"],
-                "fault_duplicated": summary["fault_duplicated"],
-                "stall": result.stall or "",
-            }
-        )
+        csv_rows.append(chaos_csv_row(result))
 
     print(
         format_table(
@@ -448,6 +463,32 @@ def _cmd_systems(args: argparse.Namespace) -> int:
     for name in system_names():
         print(name)
     return 0
+
+
+def _goldens_only(args: argparse.Namespace) -> tuple[str, ...] | None:
+    return tuple(part for part in args.only.split(",") if part) or None
+
+
+def _cmd_verify_goldens(args: argparse.Namespace) -> int:
+    """Drift gate: regenerate every surface, compare to committed goldens.
+
+    Exit codes: 0 clean, 1 drift (with a per-file / per-field report),
+    2 usage (unknown surface).
+    """
+    from repro.goldens.verify import verify_goldens
+
+    return verify_goldens(
+        goldens_dir=args.dir or None, only=_goldens_only(args)
+    )
+
+
+def _cmd_update_goldens(args: argparse.Namespace) -> int:
+    """Rewrite the committed goldens (REPRO_REGEN_GOLDENS=1 required)."""
+    from repro.goldens.verify import update_goldens
+
+    return update_goldens(
+        goldens_dir=args.dir or None, only=_goldens_only(args)
+    )
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -570,6 +611,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     ps = sub.add_parser("systems", help="list consistency systems")
     ps.set_defaults(fn=_cmd_systems)
+
+    for name, fn, help_text in (
+        (
+            "verify-goldens",
+            _cmd_verify_goldens,
+            "drift gate: regenerate artifacts, diff vs committed goldens "
+            "(0 clean, 1 drift, 2 usage)",
+        ),
+        (
+            "update-goldens",
+            _cmd_update_goldens,
+            "rewrite committed goldens (requires REPRO_REGEN_GOLDENS=1)",
+        ),
+    ):
+        pg2 = sub.add_parser(name, help=help_text)
+        pg2.add_argument(
+            "--only",
+            type=str,
+            default="",
+            metavar="A,B",
+            help="comma-separated surface names (default: all)",
+        )
+        pg2.add_argument(
+            "--dir",
+            type=str,
+            default="",
+            metavar="DIR",
+            help="goldens tree (default: <repo>/goldens)",
+        )
+        pg2.set_defaults(fn=fn)
 
     pb = sub.add_parser(
         "burst", help="write-burst sensitivity: wire messages vs burst size"

@@ -74,6 +74,23 @@ _RECOVERY_SCENARIOS = (
     "duplicate",
 )
 
+#: The deterministic smoke mini-matrix behind ``repro chaos --smoke``:
+#: every scenario, both workloads, and one non-GWC system, as
+#: ``(system, workload, scenario)`` triples.  Fast enough to run inside
+#: the default ``make test``; also the fileset the ``chaos`` golden
+#: surface snapshots, so keep it stable.
+SMOKE_MATRIX: tuple[tuple[str, str, str], ...] = (
+    ("gwc", "counter", "crash_holder"),
+    ("gwc_optimistic", "counter", "crash_holder"),
+    ("gwc", "counter", "crash_root"),
+    ("gwc_optimistic", "counter", "crash_root"),
+    ("gwc", "counter", "churn"),
+    ("gwc", "counter", "partition"),
+    ("gwc", "counter", "duplicate"),
+    ("gwc", "task_queue", "delay"),
+    ("release", "counter", "delay"),
+)
+
 
 @dataclass(frozen=True, slots=True)
 class ChaosConfig:
@@ -147,6 +164,47 @@ class ChaosResult:
             self.dropped,
             tuple(sorted(self.fault_summary.items())),
         )
+
+
+def chaos_csv_row(result: ChaosResult) -> dict[str, Any]:
+    """One chaos run as a flat CSV/JSON row.
+
+    Shared by the ``repro chaos --csv`` export and the ``chaos`` golden
+    surface, so the committed goldens and ad-hoc soak exports always
+    carry the same columns.  Every field is a deterministic function of
+    ``(config, seed)`` — simulated time, never wall-clock.
+    """
+    cfg = result.config
+    summary = result.fault_summary
+    return {
+        "system": cfg.system,
+        "workload": cfg.workload,
+        "scenario": cfg.scenario,
+        "seed": cfg.seed,
+        "ok": result.ok,
+        "final_counter": result.final_counter,
+        "chain_length": result.chain_length,
+        "converged": result.converged,
+        "lock_requests": result.lock_requests,
+        "lock_timeouts": result.lock_timeouts,
+        "lock_retries": result.lock_retries,
+        "lock_reclaims": summary["lock_reclaims"],
+        "failovers": summary["failovers"],
+        "stale_epoch_discards": summary["stale_epoch_discards"],
+        "rerouted_requests": summary["rerouted_requests"],
+        "window_discards": summary["window_discards"],
+        "recovery_time_mean_s": (
+            sum(result.recovery_times) / len(result.recovery_times)
+            if result.recovery_times
+            else 0.0
+        ),
+        "messages": result.messages,
+        "dropped": result.dropped,
+        "fault_dropped": summary["fault_dropped"],
+        "fault_delayed": summary["fault_delayed"],
+        "fault_duplicated": summary["fault_duplicated"],
+        "stall": result.stall or "",
+    }
 
 
 def _chaos_counter_worker(

@@ -63,11 +63,15 @@ def to_csv_columns(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str
 
 
 def write_csv(path: str | pathlib.Path, rows: Iterable[Any]) -> pathlib.Path:
-    """Write dataclass/dict rows to a CSV file; returns the path."""
-    target = pathlib.Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(to_csv(rows))
-    return target
+    """Write dataclass/dict rows to a CSV file; returns the path.
+
+    The write is atomic (temp + fsync + rename via the goldens writer):
+    an interrupted export leaves the previous file intact rather than a
+    truncated one, so a CSV on disk is always a complete run's rows.
+    """
+    from repro.goldens.writer import atomic_write_text
+
+    return atomic_write_text(path, to_csv(rows))
 
 
 def channel_stats_summary(stats: "ChannelStats") -> dict[str, int]:  # noqa: F821
