@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test chaos-smoke failover-smoke shard-smoke goldens verify-goldens bench bench-full bench-json perf-smoke profile examples figures all clean
+.PHONY: install test chaos-smoke failover-smoke campaign-smoke shard-smoke goldens verify-goldens bench bench-full bench-json perf-smoke profile examples figures all clean
 
 install:
 	$(PY) setup.py develop
@@ -11,6 +11,7 @@ test:
 	PYTHONPATH=src $(PY) -m pytest tests/
 	PYTHONPATH=src $(PY) -m repro chaos --smoke
 	PYTHONPATH=src $(PY) -m repro chaos --scenario crash_root --seeds 3
+	PYTHONPATH=src $(PY) -m repro campaign --smoke
 
 # Deterministic fault-injection mini-matrix (< 30 s); part of `make test`.
 chaos-smoke:
@@ -21,6 +22,12 @@ chaos-smoke:
 # section and requires election + reconstruction to converge.
 failover-smoke:
 	PYTHONPATH=src $(PY) -m repro chaos --scenario crash_root --seeds 3
+
+# Randomized fault-campaign smoke: seeded generated plans across the
+# chaos profiles, live-checked by the invariant oracles (< 10 s);
+# part of `make test`.
+campaign-smoke:
+	PYTHONPATH=src $(PY) -m repro campaign --smoke
 
 # Shard-parity smoke: quick figure2/figure8 points under the sharded
 # kernel (both sync policies) must hash bit-identical to serial runs.

@@ -13,6 +13,8 @@ Usage::
     python -m repro burst [--sizes 1,2,4,8,0] [--nodes N] [--csv F]
     python -m repro chaos [--smoke] [--scenario crash_holder|...|mixed]
                           [--systems gwc,...] [--seeds N] [--csv F]
+    python -m repro campaign [--smoke] [--trials N] [--seed S]
+                          [--profile churn|...|all] [--bundle-dir D] [--csv F]
     python -m repro verify-goldens [--only figure2,chaos] [--dir D]
     python -m repro update-goldens   # needs REPRO_REGEN_GOLDENS=1
 
@@ -287,29 +289,49 @@ def _chaos_combos(args: argparse.Namespace) -> list[tuple[str, str, str]]:
     return combos
 
 
+def _unknown_name(kind: str, value: str, known: Sequence[str]) -> str | None:
+    """Shared name validation for chaos and campaign flags.
+
+    Returns the usage-error line (with the full valid-name list) for an
+    unknown ``value``, or None when it is valid — so a typo in either
+    command produces the same exit-2 diagnostic shape.
+    """
+    if value in known:
+        return None
+    return f"unknown {kind} {value!r}; known: {', '.join(known)}"
+
+
+def _unknown_names(
+    kind: str, requested: Sequence[str], known: Sequence[str]
+) -> str | None:
+    """Plural variant of :func:`_unknown_name` for comma-separated flags."""
+    unknown = [name for name in requested if name not in known]
+    if not unknown:
+        return None
+    return (
+        f"unknown {kind}(s) {', '.join(unknown)}; known: "
+        f"{', '.join(sorted(known))}"
+    )
+
+
 def _chaos_usage_errors(args: argparse.Namespace) -> list[str]:
     """Validate chaos flags; non-empty means a usage error (exit 2)."""
     from repro.faults.chaos import GWC_FAMILY, SCENARIOS
 
     errors: list[str] = []
     if not args.smoke:
-        if args.scenario not in SCENARIOS + ("mixed",):
-            errors.append(
-                f"unknown scenario {args.scenario!r}; known: "
-                f"{', '.join(SCENARIOS + ('mixed',))}"
-            )
-        if args.workload not in ("counter", "task_queue"):
-            errors.append(
-                f"unknown workload {args.workload!r}; known: counter, task_queue"
-            )
-        known_systems = set(system_names())
+        for line in (
+            _unknown_name("scenario", args.scenario, SCENARIOS + ("mixed",)),
+            _unknown_name("workload", args.workload, ("counter", "task_queue")),
+            _unknown_names(
+                "system",
+                [name for name in args.systems.split(",") if name],
+                system_names(),
+            ),
+        ):
+            if line is not None:
+                errors.append(line)
         requested = [name for name in args.systems.split(",") if name]
-        unknown = [name for name in requested if name not in known_systems]
-        if unknown:
-            errors.append(
-                f"unknown system(s) {', '.join(unknown)}; known: "
-                f"{', '.join(sorted(known_systems))}"
-            )
         if args.scenario != "mixed" and not errors:
             non_gwc = [s for s in requested if s not in GWC_FAMILY]
             if args.scenario != "delay" and non_gwc:
@@ -427,6 +449,143 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(
         f"chaos: {len(results) - len(failures)}/{len(results)} run(s) ok"
     )
+    return 0 if not failures else 1
+
+
+def _campaign_usage_errors(args: argparse.Namespace) -> list[str]:
+    """Validate campaign flags; non-empty means a usage error (exit 2).
+
+    Shares :func:`_unknown_name` with the chaos command so a typo'd
+    profile/workload/system gets the same exit-2 valid-name diagnostic.
+    """
+    from repro.faults.campaign import PROFILES
+    from repro.faults.chaos import GWC_FAMILY
+
+    errors: list[str] = []
+    if args.smoke:
+        return errors
+    requested = [name for name in args.systems.split(",") if name]
+    for line in (
+        _unknown_name("profile", args.profile, PROFILES + ("all",)),
+        _unknown_name("workload", args.workload, ("counter", "task_queue")),
+        _unknown_names("system", requested, system_names()),
+    ):
+        if line is not None:
+            errors.append(line)
+    if not errors:
+        non_gwc = [name for name in requested if name not in GWC_FAMILY]
+        if non_gwc:
+            errors.append(
+                f"campaign trials need the GWC-family recovery stack; "
+                f"{', '.join(non_gwc)} not in: {', '.join(GWC_FAMILY)}"
+            )
+    if args.trials < 1:
+        errors.append(f"--trials must be >= 1 (got {args.trials})")
+    if args.nodes < 3:
+        errors.append(f"--nodes must be >= 3 (got {args.nodes})")
+    return errors
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a randomized fault campaign with online oracles.
+
+    Exit codes: 0 = every trial clean, 1 = at least one trial failed
+    (each failure minimized + bundled when enabled), 2 = usage error.
+    """
+    from repro.faults.campaign import (
+        CampaignConfig,
+        run_campaign,
+        smoke_config,
+    )
+    from repro.metrics.export import write_csv
+
+    usage = _campaign_usage_errors(args)
+    if usage:
+        for error in usage:
+            print(f"campaign: {error}", file=sys.stderr)
+        return 2
+
+    if args.smoke:
+        config = smoke_config()
+    else:
+        config = CampaignConfig(
+            trials=args.trials,
+            seed=args.seed,
+            profile=args.profile,
+            systems=tuple(name for name in args.systems.split(",") if name),
+            workload=args.workload,
+            n_nodes=args.nodes,
+            ops_per_node=args.ops,
+            minimize=not args.no_minimize,
+            bundle_dir=args.bundle_dir or None,
+        )
+    campaign = run_campaign(config, out=print)
+
+    rows = []
+    for outcome in campaign.outcomes:
+        trial = outcome.trial
+        detail = outcome.detail
+        rows.append(
+            [
+                trial.index,
+                trial.kind,
+                trial.profile,
+                trial.system if trial.kind == "chaos" else trial.shard_policy,
+                trial.topology,
+                "ok" if outcome.ok else "FAIL",
+                "/".join(outcome.signature) if outcome.signature else "-",
+                (
+                    f"{len(trial.config.plan.events)}"
+                    + (
+                        f"->{len(outcome.minimized.plan.events)}"
+                        if outcome.minimized is not None
+                        else ""
+                    )
+                    if trial.config is not None and trial.config.plan is not None
+                    else "-"
+                ),
+                detail[:60] if detail else "-",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "trial",
+                "kind",
+                "profile",
+                "system/policy",
+                "topology",
+                "status",
+                "signature",
+                "events",
+                "detail",
+            ],
+            rows,
+            title="Chaos campaign: seeded random fault plans vs online oracles",
+        )
+    )
+    failures = campaign.failures()
+    for outcome in failures:
+        label = (
+            f"trial {outcome.trial.index} "
+            f"({outcome.trial.profile}/{outcome.trial.system}/"
+            f"{outcome.trial.topology})"
+        )
+        print(f"FAIL {label}: {'/'.join(outcome.signature or ())}")
+        if outcome.minimized is not None:
+            print(
+                f"     minimized {outcome.minimized.original_events} -> "
+                f"{len(outcome.minimized.plan.events)} event(s) at "
+                f"n_nodes={outcome.minimized.n_nodes} "
+                f"({outcome.minimized.probes} probe(s))"
+            )
+        if outcome.bundle_path is not None:
+            print(f"     repro bundle: {outcome.bundle_path}")
+    if args.csv:
+        path = write_csv(args.csv, campaign.rows())
+        print(f"wrote {path}")
+    total = len(campaign.outcomes)
+    print(f"campaign: {total - len(failures)}/{total} trial(s) ok")
     return 0 if not failures else 1
 
 
@@ -702,6 +861,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pc.add_argument("--csv", type=str, default="", metavar="FILE")
     pc.set_defaults(fn=_cmd_chaos)
+
+    pca = sub.add_parser(
+        "campaign",
+        help="randomized fault campaign: generated plans, online oracles, "
+        "failing-seed minimization",
+    )
+    pca.add_argument(
+        "--trials", type=int, default=25, help="chaos trials to run"
+    )
+    pca.add_argument("--seed", type=int, default=7)
+    pca.add_argument(
+        "--profile",
+        type=str,
+        default="mixed",
+        help="churn|splitbrain|rootstorm|wire|mixed|all (default: mixed)",
+    )
+    pca.add_argument(
+        "--systems",
+        type=str,
+        default="gwc,gwc_optimistic",
+        metavar="A,B",
+        help="comma-separated GWC-family systems (campaigns need the "
+        "recovery stack)",
+    )
+    pca.add_argument(
+        "--workload", type=str, default="counter", help="counter|task_queue"
+    )
+    pca.add_argument("--nodes", type=int, default=6)
+    pca.add_argument("--ops", type=int, default=6, help="operations per node")
+    pca.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip delta-debugging failing plans",
+    )
+    pca.add_argument(
+        "--bundle-dir",
+        type=str,
+        default="",
+        metavar="DIR",
+        help="write a repro bundle per failing trial under DIR",
+    )
+    pca.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fixed bounded campaign (used by `make campaign-smoke` and "
+        "the campaign golden surface)",
+    )
+    pca.add_argument("--csv", type=str, default="", metavar="FILE")
+    pca.set_defaults(fn=_cmd_campaign)
 
     pr = sub.add_parser(
         "reproduce", help="regenerate every paper artefact and print a digest"

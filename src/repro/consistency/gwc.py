@@ -78,6 +78,7 @@ class GroupRootEngine:
         self._lock_recovery = False
         self._lease_duration: float | None = None
         self._lease_is_crashed: "Callable[[int], bool] | None" = None
+        self._lease_max_extensions: int | None = None
         #: Packet-train collection (Layer 1 batching): while a train is
         #: open, :meth:`_sequence_and_multicast` appends sequenced
         #: packets here instead of multicasting each one immediately;
@@ -117,17 +118,21 @@ class GroupRootEngine:
         self,
         lease_duration: float | None = None,
         is_crashed: "Callable[[int], bool] | None" = None,
+        max_extensions: int | None = None,
     ) -> None:
         """Enable recovery mode (and optionally leases) on every lock.
 
         Applies to locks already declared and to locks added later.
         With ``lease_duration`` set, each manager reclaims a crashed
         holder's lock after the lease expires, emitting the follow-on
-        grant through the normal sequencing path.
+        grant through the normal sequencing path.  ``max_extensions``
+        bounds consecutive live-holder lease extensions per grant (see
+        :meth:`GwcLockManager.enable_lease`).
         """
         self._lock_recovery = True
         self._lease_duration = lease_duration
         self._lease_is_crashed = is_crashed
+        self._lease_max_extensions = max_extensions
         for manager in self.lock_managers.values():
             self._apply_recovery(manager)
 
@@ -139,6 +144,7 @@ class GroupRootEngine:
                 partial(self._emit_lock_values, manager.decl.name),
                 self._lease_duration,
                 self._lease_is_crashed,
+                max_extensions=self._lease_max_extensions,
             )
 
     def _emit_lock_values(self, name: str, values: list[Any]) -> None:

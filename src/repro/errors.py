@@ -73,6 +73,31 @@ class SequencingError(ConsistencyError):
     """Group-write-consistency sequencing was violated (gap or reorder)."""
 
 
+class InvariantViolationError(ConsistencyError):
+    """An online safety oracle caught a violated invariant mid-run.
+
+    Raised by :class:`repro.consistency.oracles.InvariantMonitor` (and
+    :class:`~repro.consistency.oracles.GvtMonitor` under sharding) the
+    instant an armed invariant fails: lock mutual exclusion, sequencer
+    epoch/cursor monotonicity, apply-stream gap absence, single-writer
+    token integrity, or GVT monotonicity.  ``oracle`` names the failed
+    check and ``evidence`` carries the monitor's recent observation
+    trail ending in the violating observation, so a campaign repro
+    bundle can show *how* the run reached the bad state, not just that
+    it did.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        oracle: str = "",
+        evidence: "tuple[str, ...] | list[str]" = (),
+    ) -> None:
+        super().__init__(message)
+        self.oracle = oracle
+        self.evidence = tuple(evidence)
+
+
 class LockError(ReproError):
     """A failure in a lock protocol."""
 

@@ -16,6 +16,13 @@
 * :mod:`repro.faults.chaos` — the seeded chaos harness behind the
   ``repro chaos`` CLI: workloads under fault schedules with
   mutual-exclusion and RMW-chain invariants checked throughout.
+* :mod:`repro.faults.campaign` — the randomized campaign engine behind
+  the ``repro campaign`` CLI: :func:`~repro.faults.campaign.generate_plan`
+  draws seeded fault plans from weighted profiles,
+  :func:`~repro.faults.campaign.run_campaign` sweeps them across
+  workloads/topologies/shard policies under the online invariant
+  oracles, and :func:`~repro.faults.campaign.minimize_failure` ddmin-
+  shrinks any failing plan to a 1-minimal reproducer bundle.
 
 See ``docs/FAULTS.md`` for the fault model and recovery parameters.
 """
@@ -30,14 +37,26 @@ from repro.faults.plan import (
     partition,
     restart,
 )
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    generate_plan,
+    minimize_failure,
+    run_campaign,
+)
 from repro.faults.failover import RootFailoverManager
 from repro.faults.injector import FaultInjector
 
 __all__ = [
+    "CampaignConfig",
+    "CampaignResult",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "RootFailoverManager",
+    "generate_plan",
+    "minimize_failure",
+    "run_campaign",
     "crash",
     "delay",
     "duplicate",

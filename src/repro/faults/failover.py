@@ -344,7 +344,9 @@ class RootFailoverManager:
         )
         if old_engine is not None and old_engine._lock_recovery:
             engine.configure_lock_recovery(
-                old_engine._lease_duration, old_engine._lease_is_crashed
+                old_engine._lease_duration,
+                old_engine._lease_is_crashed,
+                old_engine._lease_max_extensions,
             )
         for manager in engine.lock_managers.values():
             manager.on_reclaim = self.injector._note_reclaim

@@ -25,7 +25,9 @@ and :meth:`FaultPlan.validate` checks node ids against a machine size.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import FaultError
 
@@ -133,6 +135,47 @@ class FaultPlan:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_nodes: int,
+        horizon: float,
+        profile: str = "mixed",
+        **kwargs: Any,
+    ) -> "FaultPlan":
+        """Generate a seeded random plan from a named campaign profile.
+
+        Deterministic per ``(seed, n_nodes, horizon, profile)`` and
+        always valid for ``n_nodes`` — see
+        :func:`repro.faults.campaign.generate_plan` (this is a
+        convenience re-export; the campaign module owns the profiles).
+        """
+        from repro.faults.campaign import generate_plan
+
+        return generate_plan(seed, n_nodes, horizon, profile, **kwargs)
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serializable form (repro bundles; round-trips exactly)."""
+        return {
+            "seed": self.seed,
+            "events": [dataclasses.asdict(event) for event in self.events],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan written by :meth:`to_payload` (tuples restored)."""
+        try:
+            events = []
+            for raw in payload["events"]:
+                fields = dict(raw)
+                fields["nodes"] = tuple(fields.get("nodes", ()))
+                fields["message_kinds"] = tuple(fields.get("message_kinds", ()))
+                events.append(FaultEvent(**fields))
+            return cls(events, seed=payload["seed"])
+        except (KeyError, TypeError) as exc:
+            raise FaultError(f"malformed fault-plan payload: {exc}") from exc
 
     def validate(self, n_nodes: int) -> None:
         """Check every event against a machine of ``n_nodes`` nodes."""

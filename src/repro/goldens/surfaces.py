@@ -189,6 +189,27 @@ def _generate_chaos(run: RunWriter) -> None:
     run.write_csv("chaos.csv", rows)
 
 
+def _generate_campaign(run: RunWriter) -> None:
+    """The ``repro campaign --smoke`` summary: generated plans + oracles.
+
+    Uses the exact :func:`repro.faults.campaign.smoke_config` the CLI
+    smoke path runs, so a drift here means either the plan generator,
+    a trial's protocol behaviour, or the shared chaos-run CSV schema
+    changed.  Every smoke trial must pass — a red trial is a bug, not
+    a golden.
+    """
+    from repro.faults.campaign import run_campaign, smoke_config
+
+    campaign = run_campaign(smoke_config())
+    failed = [o.trial.index for o in campaign.failures()]
+    if failed:
+        raise ExperimentError(
+            f"campaign smoke trial(s) {failed} failed; fix the run before "
+            "regenerating goldens"
+        )
+    run.write_csv("campaign.csv", campaign.rows())
+
+
 def _generate_failover(run: RunWriter) -> None:
     """The root-kill matrix behind ``make failover-smoke``: 2 systems x 3 seeds."""
     from repro.faults.chaos import ChaosConfig, chaos_csv_row, run_chaos
@@ -330,6 +351,8 @@ SURFACES: tuple[Surface, ...] = (
             "sharded-kernel parity hashes vs serial"),
     Surface("failover", _generate_failover,
             "crash_root failover matrix (2 systems x 3 seeds)"),
+    Surface("campaign", _generate_campaign,
+            "randomized fault-campaign smoke (generated plans + oracles)"),
     Surface("chaos", _generate_chaos,
             "chaos smoke matrix incl. crash_root"),
 )

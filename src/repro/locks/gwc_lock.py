@@ -128,6 +128,9 @@ class GwcLockManager:
         self._emit: Callable[[list[Any]], None] | None = None
         self._lease_duration: float | None = None
         self._is_crashed: Callable[[int], bool] | None = None
+        self._lease_max_extensions: int | None = None
+        #: Consecutive live-holder extensions for the current grant.
+        self._lease_extension_run = 0
         self._lease_event: "Event | None" = None  # noqa: F821
         #: Bumped on every grant and release; a pending lease check whose
         #: epoch is stale belongs to a previous occupancy and is ignored.
@@ -151,6 +154,7 @@ class GwcLockManager:
         emit: Callable[[list[Any]], None],
         duration: float,
         is_crashed: Callable[[int], bool] | None = None,
+        max_extensions: int | None = None,
     ) -> None:
         """Arm holder leases so a dead holder's lock is reclaimed.
 
@@ -167,14 +171,26 @@ class GwcLockManager:
                 lease expiring under a *live* holder is extended rather
                 than reclaimed, making reclaim precise instead of purely
                 time-based.
+            max_extensions: Cap on consecutive live-holder extensions of
+                one grant.  A live holder whose *release was lost* (e.g.
+                dropped by a partition) would otherwise be extended
+                forever, wedging the lock; after the cap the lock is
+                reclaimed anyway, and the grant-epoch fence makes the
+                holder's stale late release harmless.  ``None`` (default)
+                keeps the unbounded behaviour.
         """
         if duration <= 0:
             raise FaultError(f"lease duration must be > 0: {duration}")
+        if max_extensions is not None and max_extensions < 1:
+            raise FaultError(
+                f"lease max_extensions must be >= 1: {max_extensions}"
+            )
         self.recovery = True
         self._sim = sim
         self._emit = emit
         self._lease_duration = duration
         self._is_crashed = is_crashed
+        self._lease_max_extensions = max_extensions
         if self.holder is not None:
             self._arm_lease()
 
@@ -255,6 +271,7 @@ class GwcLockManager:
         self.holder = node
         self.grants += 1
         self._grant_epoch += 1
+        self._lease_extension_run = 0
         if self._lease_duration is not None:
             self._arm_lease()
 
@@ -273,10 +290,21 @@ class GwcLockManager:
     def _lease_check(self, epoch: int) -> None:
         if epoch != self._grant_epoch or self.holder is None:
             return  # Occupancy already changed; this check is stale.
-        if self._is_crashed is not None and not self._is_crashed(self.holder):
+        if (
+            self._is_crashed is not None
+            and not self._is_crashed(self.holder)
+            and (
+                self._lease_max_extensions is None
+                or self._lease_extension_run < self._lease_max_extensions
+            )
+        ):
             # Liveness oracle says the holder is alive: a long critical
-            # section, not a crash.  Extend rather than reclaim.
+            # section, not a crash.  Extend rather than reclaim — but
+            # only up to max_extensions times per grant, so a live
+            # holder whose release was lost in transit cannot wedge the
+            # lock forever.
             self.lease_extensions += 1
+            self._lease_extension_run += 1
             self._arm_lease()
             return
         old_holder = self.holder

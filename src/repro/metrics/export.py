@@ -74,6 +74,66 @@ def write_csv(path: str | pathlib.Path, rows: Iterable[Any]) -> pathlib.Path:
     return atomic_write_text(path, to_csv(rows))
 
 
+#: The one chaos/campaign run schema, in column order.  Shared by
+#: ``repro chaos --csv``, the ``chaos``/``failover`` golden surfaces,
+#: and every ``repro campaign`` summary row (campaign rows prepend
+#: trial-context columns via ``prefix``), so all fault-run exports
+#: carry identical columns and a row from any of them can be compared
+#: against any other.
+CHAOS_RUN_FIELDS: tuple[str, ...] = (
+    "system",
+    "workload",
+    "scenario",
+    "seed",
+    "ok",
+    "final_counter",
+    "chain_length",
+    "converged",
+    "lock_requests",
+    "lock_timeouts",
+    "lock_retries",
+    "lock_reclaims",
+    "failovers",
+    "stale_epoch_discards",
+    "rerouted_requests",
+    "window_discards",
+    "recovery_time_mean_s",
+    "messages",
+    "dropped",
+    "fault_dropped",
+    "fault_delayed",
+    "fault_duplicated",
+    "stall",
+)
+
+
+def chaos_run_row(
+    values: dict[str, Any], prefix: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Project ``values`` onto the shared chaos-run schema.
+
+    Returns a dict whose keys are exactly ``prefix`` columns (in their
+    given order) followed by :data:`CHAOS_RUN_FIELDS`; a missing or
+    extra field is a hard error so the chaos and campaign emitters can
+    never silently diverge.
+    """
+    extra = set(values) - set(CHAOS_RUN_FIELDS)
+    missing = set(CHAOS_RUN_FIELDS) - set(values)
+    if extra or missing:
+        raise ExperimentError(
+            "chaos-run row does not match the shared schema: "
+            f"missing {sorted(missing)}, unexpected {sorted(extra)}"
+        )
+    row: dict[str, Any] = dict(prefix) if prefix else {}
+    for name in CHAOS_RUN_FIELDS:
+        if name in row:
+            raise ExperimentError(
+                f"chaos-run prefix column {name!r} collides with the schema"
+            )
+        row[name] = values[name]
+    return row
+
+
 def channel_stats_summary(stats: "ChannelStats") -> dict[str, int]:  # noqa: F821
     """Whole-network traffic and fault counters as one flat mapping.
 

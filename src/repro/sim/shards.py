@@ -514,6 +514,10 @@ class ShardedSimulator:
         self.plan = plan
         self.policy = policy
         self.stats = ShardStats()
+        #: Optional observer called with each round's GVT estimate
+        #: (campaign oracles hook GvtMonitor.note here).  Must be
+        #: read-only: it runs inside the round loop.
+        self.on_gvt: Callable[[float], None] | None = None
         self.shards: list[_Shard] = []
         self._base_seq = 0  # tie-break for the base_pending heaps
         self._finished = False
@@ -613,6 +617,8 @@ class ShardedSimulator:
             gvt = self._gvt()
             if gvt is None:
                 break
+            if self.on_gvt is not None:
+                self.on_gvt(gvt)
             self.stats.rounds += 1
             if max_rounds is not None and self.stats.rounds > max_rounds:
                 raise ShardingError(

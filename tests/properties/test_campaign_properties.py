@@ -1,0 +1,99 @@
+"""Hypothesis properties of the campaign plan generator and minimizer.
+
+The generator's contract (docs/FAULTS.md §5): deterministic per
+``(seed, n_nodes, horizon, profile)``, always ``validate``-clean for its
+node count, every fault inside the horizon, and survivable by design —
+the root never plain-crashes, partitions are bounded proper minorities,
+and crash/restart pairs balance.  The ddmin property: for any planted
+failing core, the result is exactly that core and is 1-minimal.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.campaign import PROFILES, ddmin, generate_plan, recovery_unit
+from repro.faults.plan import CRASH, PARTITION, RESTART, FaultPlan, crash
+
+UNIT = recovery_unit(6)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+profiles = st.sampled_from(PROFILES)
+node_counts = st.integers(min_value=3, max_value=10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, profile=profiles, n_nodes=node_counts)
+def test_generation_is_deterministic(seed, profile, n_nodes):
+    horizon = 400.0 * UNIT
+    first = generate_plan(seed, n_nodes, horizon, profile)
+    again = generate_plan(seed, n_nodes, horizon, profile)
+    assert first.events == again.events
+    assert first.seed == again.seed == seed
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, profile=profiles, n_nodes=node_counts)
+def test_generated_plans_validate_and_stay_in_horizon(seed, profile, n_nodes):
+    horizon = 400.0 * recovery_unit(n_nodes)
+    plan = generate_plan(seed, n_nodes, horizon, profile)
+    plan.validate(n_nodes)  # must not raise
+    assert plan.events
+    for event in plan.events:
+        assert 0.0 <= event.time <= horizon
+        if event.until is not None:
+            assert event.time < event.until <= horizon
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, profile=profiles, n_nodes=node_counts)
+def test_generated_plans_are_survivable_by_design(seed, profile, n_nodes):
+    plan = generate_plan(seed, n_nodes, 400.0 * UNIT, profile)
+    crashes = [e.node for e in plan.events if e.kind == CRASH and e.node is not None]
+    restarts = [e.node for e in plan.events if e.kind == RESTART]
+    # Plain crashes spare the root and are balanced by restarts.
+    assert 0 not in crashes
+    assert sorted(crashes) == sorted(restarts)
+    for event in plan.events:
+        if event.kind == PARTITION:
+            assert 0 not in event.nodes
+            assert len(event.nodes) <= max(1, (n_nodes - 1) // 2)
+            assert event.until is not None
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, profile=profiles, n_nodes=node_counts)
+def test_payload_round_trip_is_exact(seed, profile, n_nodes):
+    plan = generate_plan(seed, n_nodes, 400.0 * UNIT, profile)
+    rebuilt = FaultPlan.from_payload(json.loads(json.dumps(plan.to_payload())))
+    assert rebuilt.events == plan.events
+    assert rebuilt.seed == plan.seed
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=12),
+    data=st.data(),
+)
+def test_ddmin_finds_the_planted_core_and_is_one_minimal(size, data):
+    events = tuple(crash(float(i + 1), node=1) for i in range(size))
+    core_indices = data.draw(
+        st.sets(
+            st.integers(min_value=0, max_value=size - 1),
+            min_size=0,
+            max_size=size,
+        )
+    )
+    core = {events[i] for i in core_indices}
+
+    def fails(candidate):
+        return core <= set(candidate)
+
+    result = ddmin(events, fails)
+    assert set(result) == core
+    assert fails(result)
+    for i in range(len(result)):
+        assert not fails(result[:i] + result[i + 1:])

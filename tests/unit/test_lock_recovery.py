@@ -153,6 +153,56 @@ class TestLeases:
         assert manager.lease_reclaims == 0
         assert manager.holder is None
 
+    def test_bad_max_extensions_rejected(self):
+        with pytest.raises(FaultError, match="extensions"):
+            _manager().enable_lease(
+                Simulator(), lambda _v: None, duration=1.0, max_extensions=0
+            )
+
+    def test_silent_live_holder_is_reclaimed_after_extension_cap(self):
+        # The lost-release wedge: a live holder whose release the network
+        # ate must not be extended forever.
+        sim = Simulator()
+        manager = _manager()
+        emitted: list[list] = []
+        manager.enable_lease(
+            sim,
+            emitted.append,
+            duration=1.0,
+            is_crashed=lambda _n: False,
+            max_extensions=3,
+        )
+        manager.on_write(1, request_value(1))
+        manager.on_write(2, request_value(2))  # queued behind the wedge
+        # The reclaim grants node 2 at t=4 (3 extensions + expiry); it
+        # releases promptly, inside its own first lease period.
+        sim.schedule(4.5, lambda: emitted.append(manager.on_write(2, FREE_VALUE)))
+        sim.run()
+        assert manager.lease_extensions == 3
+        assert manager.lease_reclaims == 1
+        assert emitted == [[grant_value(2)], [FREE_VALUE]]
+        assert manager.holder is None
+
+    def test_extension_budget_resets_per_grant(self):
+        sim = Simulator()
+        manager = _manager()
+        manager.enable_lease(
+            sim,
+            lambda _v: None,
+            duration=1.0,
+            is_crashed=lambda _n: False,
+            max_extensions=2,
+        )
+        manager.on_write(1, request_value(1))
+        sim.schedule(1.5, lambda: manager.on_write(1, FREE_VALUE))
+        # A fresh acquisition gets a fresh extension budget.
+        sim.schedule(1.6, lambda: manager.on_write(2, request_value(2)))
+        sim.schedule(3.2, lambda: manager.on_write(2, FREE_VALUE))
+        sim.run()
+        assert manager.lease_reclaims == 0
+        assert manager.lease_extensions == 2  # one per long section
+        assert manager.holder is None
+
     def test_stale_epoch_check_is_ignored(self):
         sim = Simulator()
         manager = _manager()
