@@ -80,6 +80,16 @@ def _add_shards(parser: argparse.ArgumentParser) -> None:
         default="optimistic",
         help="shard sync policy: Time Warp rollback or lookahead windows",
     )
+    parser.add_argument(
+        "--shard-backend",
+        choices=("inproc", "process"),
+        default=None,
+        help=(
+            "shard execution backend: cooperative in-process loops or one "
+            "forked worker per shard (default: $REPRO_SHARD_BACKEND, else "
+            "inproc); state hashes are bit-identical either way"
+        ),
+    )
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
@@ -108,6 +118,7 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         shards=args.shards,
         shard_policy=args.shard_policy,
+        shard_backend=args.shard_backend,
     )
     print(figure2.render(rows))
     if args.chart:
@@ -134,6 +145,7 @@ def _cmd_figure8(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         shards=args.shards,
         shard_policy=args.shard_policy,
+        shard_backend=args.shard_backend,
     )
     print(figure8.render(rows))
     if args.chart:
@@ -151,9 +163,12 @@ def _cmd_shard_smoke(args: argparse.Namespace) -> int:
     from repro.workloads.pipeline import PipelineConfig, run_pipeline
     from repro.workloads.task_queue import TaskQueueConfig, run_task_queue
 
+    from repro.experiments.runner import default_shard_backend
+
     shards = args.shards or 2
+    backend = args.shard_backend or default_shard_backend()
     failures = 0
-    print(f"shard-parity smoke ({shards} shards vs serial):")
+    print(f"shard-parity smoke ({shards} shards, {backend} backend, vs serial):")
     for n_nodes in (3, 5, 9):
         serial = run_task_queue(
             TaskQueueConfig(system="gwc", n_nodes=n_nodes, total_tasks=32)
@@ -166,6 +181,7 @@ def _cmd_shard_smoke(args: argparse.Namespace) -> int:
                     total_tasks=32,
                     shards=shards,
                     shard_policy=policy,
+                    shard_backend=backend,
                 )
             )
             ok = sharded.extra["state_hash"] == serial.extra["state_hash"]
@@ -174,6 +190,7 @@ def _cmd_shard_smoke(args: argparse.Namespace) -> int:
             print(
                 f"  figure2 n={n_nodes:<2d} {policy:<12s} "
                 f"{'OK  ' if ok else 'FAIL'} "
+                f"backend={sharded.extra.get('shard_backend', 'serial')} "
                 f"rollbacks={stats.get('rollbacks', 0)} "
                 f"routed={stats.get('routed', 0)}"
             )
@@ -188,6 +205,7 @@ def _cmd_shard_smoke(args: argparse.Namespace) -> int:
                 data_size=64,
                 shards=shards,
                 shard_policy=policy,
+                shard_backend=backend,
             )
         )
         ok = sharded.extra["state_hash"] == serial.extra["state_hash"]
@@ -196,6 +214,7 @@ def _cmd_shard_smoke(args: argparse.Namespace) -> int:
         print(
             f"  figure8 n=8  {policy:<12s} "
             f"{'OK  ' if ok else 'FAIL'} "
+            f"backend={sharded.extra.get('shard_backend', 'serial')} "
             f"rollbacks={stats.get('rollbacks', 0)} "
             f"routed={stats.get('routed', 0)}"
         )
@@ -755,6 +774,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     psm.add_argument(
         "--shards", type=int, default=2, metavar="N", help="shard count"
+    )
+    psm.add_argument(
+        "--shard-backend",
+        choices=("inproc", "process"),
+        default=None,
+        help="shard execution backend (default: $REPRO_SHARD_BACKEND)",
     )
     psm.set_defaults(fn=_cmd_shard_smoke)
 

@@ -18,7 +18,12 @@ from repro.experiments.common import (
     network_sizes_fig2,
     total_tasks_fig2,
 )
-from repro.experiments.runner import SweepExecutor, default_shards
+from repro.experiments.runner import (
+    SweepExecutor,
+    clamp_oversubscription,
+    default_shard_backend,
+    default_shards,
+)
 from repro.metrics.report import format_table
 from repro.params import PAPER_PARAMS, MachineParams
 from repro.workloads.task_queue import TaskQueueConfig, run_task_queue
@@ -35,12 +40,19 @@ class Figure2Row:
 
 
 def _figure2_point(
-    point: tuple[int, int, float, float, MachineParams, int, str],
+    point: tuple[int, int, float, float, MachineParams, int, str, "str | None"],
 ) -> Figure2Row:
     """One network size's three series (module-level: picklable)."""
-    n_nodes, total_tasks, task_time, produce_ratio, params, shards, policy = (
-        point
-    )
+    (
+        n_nodes,
+        total_tasks,
+        task_time,
+        produce_ratio,
+        params,
+        shards,
+        policy,
+        backend,
+    ) = point
     base = dict(
         n_nodes=n_nodes,
         total_tasks=total_tasks,
@@ -60,6 +72,7 @@ def _figure2_point(
             params=params,
             shards=shards,
             shard_policy=policy,
+            shard_backend=backend,
             **base,
         )
     )
@@ -86,6 +99,7 @@ def run_figure2(
     jobs: int | None = None,
     shards: int | None = None,
     shard_policy: str = "optimistic",
+    shard_backend: str | None = None,
 ) -> list[Figure2Row]:
     """Sweep network sizes for the GWC and entry consistency series.
 
@@ -97,11 +111,17 @@ def run_figure2(
     (default: the ``REPRO_JOBS`` env var) fans them across worker
     processes without changing any result.  ``shards`` (default: the
     ``REPRO_SHARDS`` env var) runs each GWC point under the sharded
-    kernel — results are bit-identical to serial by construction.
+    kernel on ``shard_backend`` (default: ``REPRO_SHARD_BACKEND``) —
+    results are bit-identical to serial by construction.
     """
     sizes = sizes if sizes is not None else network_sizes_fig2()
     total_tasks = total_tasks if total_tasks is not None else total_tasks_fig2()
     shards = default_shards() if shards is None else max(1, int(shards))
+    backend = (
+        default_shard_backend() if shard_backend is None else shard_backend
+    )
+    executor = SweepExecutor(jobs)
+    executor.jobs = clamp_oversubscription(executor.jobs, shards, backend)
     points = [
         (
             n_nodes,
@@ -111,10 +131,11 @@ def run_figure2(
             params,
             shards,
             shard_policy,
+            backend,
         )
         for n_nodes in sizes
     ]
-    return SweepExecutor(jobs).map(_figure2_point, points)
+    return executor.map(_figure2_point, points)
 
 
 def expectations(rows: list[Figure2Row]) -> list[PaperExpectation]:

@@ -21,7 +21,12 @@ from repro.experiments.common import (
     data_size_fig8,
     network_sizes_fig8,
 )
-from repro.experiments.runner import SweepExecutor, default_shards
+from repro.experiments.runner import (
+    SweepExecutor,
+    clamp_oversubscription,
+    default_shard_backend,
+    default_shards,
+)
 from repro.metrics.report import format_table
 from repro.params import PAPER_PARAMS, MachineParams
 from repro.workloads.pipeline import PipelineConfig, run_pipeline
@@ -40,7 +45,9 @@ class Figure8Row:
 
 
 def _figure8_point(
-    point: tuple[int, int, float, float, int, int, MachineParams, int, str],
+    point: tuple[
+        int, int, float, float, int, int, MachineParams, int, str, "str | None"
+    ],
 ) -> Figure8Row:
     """One network size's four series (module-level: picklable)."""
     (
@@ -53,6 +60,7 @@ def _figure8_point(
         params,
         shards,
         policy,
+        backend,
     ) = point
     base = dict(
         n_nodes=n_nodes,
@@ -74,6 +82,7 @@ def _figure8_point(
             params=params,
             shards=shards,
             shard_policy=policy,
+            shard_backend=backend,
             **base,
         )
     )
@@ -83,6 +92,7 @@ def _figure8_point(
             params=params,
             shards=shards,
             shard_policy=policy,
+            shard_backend=backend,
             **base,
         )
     )
@@ -113,6 +123,7 @@ def run_figure8(
     jobs: int | None = None,
     shards: int | None = None,
     shard_policy: str = "optimistic",
+    shard_backend: str | None = None,
 ) -> list[Figure8Row]:
     """Sweep network sizes for the four Figure 8 series.
 
@@ -120,12 +131,18 @@ def run_figure8(
     (default: the ``REPRO_JOBS`` env var) fans them across worker
     processes without changing any result.  ``shards`` (default: the
     ``REPRO_SHARDS`` env var) runs the GWC-family points under the
-    sharded kernel — results are bit-identical to serial by
+    sharded kernel on ``shard_backend`` (default:
+    ``REPRO_SHARD_BACKEND``) — results are bit-identical to serial by
     construction.
     """
     sizes = sizes if sizes is not None else network_sizes_fig8()
     data_size = data_size if data_size is not None else data_size_fig8()
     shards = default_shards() if shards is None else max(1, int(shards))
+    backend = (
+        default_shard_backend() if shard_backend is None else shard_backend
+    )
+    executor = SweepExecutor(jobs)
+    executor.jobs = clamp_oversubscription(executor.jobs, shards, backend)
     points = [
         (
             n_nodes,
@@ -137,10 +154,11 @@ def run_figure8(
             params,
             shards,
             shard_policy,
+            backend,
         )
         for n_nodes in sizes
     ]
-    return SweepExecutor(jobs).map(_figure8_point, points)
+    return executor.map(_figure8_point, points)
 
 
 def expectations(rows: list[Figure8Row]) -> list[PaperExpectation]:

@@ -527,7 +527,8 @@ def run_shard_trial(
     schema values)``.
     """
     from repro.consistency.oracles import GvtMonitor
-    from repro.sim.shards import ShardPlan, ShardedSimulator
+    from repro.sim.procshards import make_sharded_kernel
+    from repro.sim.shards import ShardPlan
 
     n_nodes = max(3, min(config.n_nodes, 5))
     total_tasks = 24
@@ -548,7 +549,9 @@ def run_shard_trial(
     )
     serial = tq_wl.run_task_queue(tq_config)
     monitor = GvtMonitor()
-    kernel = ShardedSimulator(
+    # Backend resolves via REPRO_SHARD_BACKEND; every oracle below is
+    # backend-independent (final-state values plus GVT monotonicity).
+    kernel = make_sharded_kernel(
         lambda owned: tq_wl._build_task_queue(tq_config, owned),
         ShardPlan.from_groups(n_nodes, trial.shards),
         policy=trial.shard_policy,

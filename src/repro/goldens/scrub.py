@@ -26,11 +26,15 @@ from typing import Any, Sequence
 from repro.errors import ExperimentError
 from repro.sim.statehash import hash_payload
 
-#: Volatile paths for ``BENCH_kernel.json``: everything measured in
-#: wall-clock seconds (or derived from such a measurement) plus the host
-#: fingerprint.  The deterministic simulation *counts* — burst-ablation
-#: wire messages, sharded-kernel rollbacks and the parity bit — stay in
-#: the hash; they are the snapshot's semantic content.
+#: Volatile paths for ``BENCH_kernel.json`` (schema 4): everything
+#: measured in wall-clock seconds (or derived from such a measurement)
+#: plus the host fingerprint.  Per-backend sharded rows scrub their
+#: timings *and* their rollback counters: the process backend's round
+#: boundaries come from a conservative GVT estimate, so its rollback
+#: totals are backend-shaped, and ``effective`` depends on whether the
+#: host can fork at all.  What stays in the hash — the workload line,
+#: the requested backend names, and each row's parity bit — is the
+#: snapshot's portable semantic content.
 BENCH_VOLATILE: tuple[str, ...] = (
     "python",
     "cpu_count",
@@ -39,8 +43,14 @@ BENCH_VOLATILE: tuple[str, ...] = (
     "sweeps",
     "baseline",
     "sharded.serial_wall_s",
-    "sharded.sharded_wall_s",
-    "sharded.events_per_sec_sharded",
+    "sharded.events_per_sec_serial",
+    "sharded.backends.effective",
+    "sharded.backends.wall_s",
+    "sharded.backends.events_per_sec",
+    "sharded.backends.rollbacks",
+    "sharded.backends.rollback_ratio",
+    "sharded.backends.speedup_vs_serial",
+    "sharded.backends.overhead_vs_serial",
 )
 
 

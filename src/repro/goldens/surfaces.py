@@ -230,7 +230,13 @@ def _generate_failover(run: RunWriter) -> None:
 
 
 def _generate_shard_smoke(run: RunWriter) -> None:
-    """Shard-parity fileset: serial vs sharded canonical state hashes."""
+    """Shard-parity fileset: serial vs sharded canonical state hashes.
+
+    Pinned to the in-process backend: the golden must not depend on the
+    ``REPRO_SHARD_BACKEND`` environment or on whether the host can fork
+    (the hashes would match anyway — that is the parity guarantee — but
+    the golden's rollback/routed counters are backend-shaped).
+    """
     from repro.workloads.pipeline import PipelineConfig, run_pipeline
     from repro.workloads.task_queue import TaskQueueConfig, run_task_queue
 
@@ -248,6 +254,7 @@ def _generate_shard_smoke(run: RunWriter) -> None:
                         total_tasks=32,
                         shards=shards,
                         shard_policy=policy,
+                        shard_backend="inproc",
                     )
                 )
                 stats = sharded.extra.get("shard_stats", {})
@@ -276,6 +283,7 @@ def _generate_shard_smoke(run: RunWriter) -> None:
                 data_size=64,
                 shards=2,
                 shard_policy=policy,
+                shard_backend="inproc",
             )
         )
         stats = sharded.extra.get("shard_stats", {})
@@ -299,6 +307,82 @@ def _generate_shard_smoke(run: RunWriter) -> None:
             "snapshot a broken kernel"
         )
     run.write_json("shard_smoke.json", {"records": records})
+
+
+def _generate_shard_backend(run: RunWriter) -> None:
+    """Serial-vs-process state-hash parity manifest (fixed seed/topology).
+
+    The 14th surface pins the cross-*process* path specifically: each
+    record runs one workload serial and once under the process backend
+    (forked workers, real IPC) and snapshots both canonical state
+    hashes.  The hashes are backend-independent by construction — on a
+    host that cannot fork, the request falls back to the in-process
+    loops and produces the *same* hashes, so the golden stays
+    byte-portable; what it guards is the hash pair itself drifting.
+    """
+    from repro.workloads.pipeline import PipelineConfig, run_pipeline
+    from repro.workloads.task_queue import TaskQueueConfig, run_task_queue
+
+    records: list[dict[str, Any]] = []
+    cases = (
+        ("task_queue", "mesh_torus", 0),
+        ("task_queue", "ring", 1),
+        ("pipeline", "mesh_torus", 0),
+    )
+    for workload, topology, seed in cases:
+        if workload == "task_queue":
+            base = dict(
+                system="gwc",
+                n_nodes=5,
+                total_tasks=32,
+                topology=topology,
+                seed=seed,
+            )
+            serial = run_task_queue(TaskQueueConfig(**base))
+            sharded = run_task_queue(
+                TaskQueueConfig(
+                    **base,
+                    shards=2,
+                    shard_policy="optimistic",
+                    shard_backend="process",
+                )
+            )
+        else:
+            base = dict(
+                system="gwc_optimistic",
+                n_nodes=8,
+                data_size=64,
+                topology=topology,
+                seed=seed,
+            )
+            serial = run_pipeline(PipelineConfig(**base))
+            sharded = run_pipeline(
+                PipelineConfig(
+                    **base,
+                    shards=2,
+                    shard_policy="optimistic",
+                    shard_backend="process",
+                )
+            )
+        records.append(
+            {
+                "workload": workload,
+                "topology": topology,
+                "seed": seed,
+                "shards": 2,
+                "policy": "optimistic",
+                "serial_hash": serial.extra["state_hash"],
+                "process_hash": sharded.extra["state_hash"],
+                "parity": sharded.extra["state_hash"]
+                == serial.extra["state_hash"],
+            }
+        )
+    if not all(record["parity"] for record in records):
+        raise ExperimentError(
+            "serial-vs-process parity violated while generating goldens; "
+            "refusing to snapshot a broken backend"
+        )
+    run.write_json("shard_backend.json", {"records": records})
 
 
 def _generate_bench_kernel(run: RunWriter) -> None:
@@ -349,6 +433,8 @@ SURFACES: tuple[Surface, ...] = (
             "threshold / shootout / echo-blocking ablations"),
     Surface("shard_smoke", _generate_shard_smoke,
             "sharded-kernel parity hashes vs serial"),
+    Surface("shard_backend", _generate_shard_backend,
+            "serial-vs-process backend state-hash parity manifest"),
     Surface("failover", _generate_failover,
             "crash_root failover matrix (2 systems x 3 seeds)"),
     Surface("campaign", _generate_campaign,

@@ -1,0 +1,764 @@
+"""Multi-process shard execution backend for the Time Warp kernel.
+
+:mod:`repro.sim.shards` runs every shard replica cooperatively inside
+one Python process — bit-identical to serial, but with zero hardware
+parallelism (BENCH_kernel.json's ``sharded`` rows record the in-process
+backend's wall-clock *slowdown* honestly, as ``overhead_vs_serial``).
+This module attaches real processes along
+the seam that kernel was built around: replicas only ever communicate
+through routed delivery records, so each :class:`~repro.sim.shards._Shard`
+can live in its own ``multiprocessing`` worker while a coordinator
+drives the exact same GVT round loop.
+
+Round protocol
+--------------
+
+One duplex pipe per worker; one batched message each way per round::
+
+    coordinator                                worker (one per shard)
+    -----------                                ----------------------
+    ("round", gvt, horizon,
+     injects, annihilates,          ----->     1. annihilate keys
+     restore_target,                           2. coast-forward restore
+     advance, cadence)                         3. inject new deliveries
+                                               4. base catch-up (paced)
+                                               5. drain run_window(horizon)
+                                    <-----     ("round", outbox, lvt,
+                                                peek, fired, replayed)
+
+All cross-shard records routed to one worker in one round travel in a
+single pickled payload (``injects``), and the whole reply — outbox,
+local virtual time, heap peek, counters — comes back in one message:
+per-round IPC cost is O(workers), not O(messages).
+
+The coordinator mirrors :meth:`ShardedSimulator._route_round` and
+``_rollback`` verbatim, with one inference replacing shared state: a
+master record counts as *executed* iff it was shipped, not annihilated,
+and its key is at or below the destination's reported LVT.  That is
+sound because injection always precedes the drain within a round and a
+replica fires deliveries in key order.
+
+Why determinism survives
+------------------------
+
+A shard's final state is a pure function of its factory and the
+injected delivery sequence (see "Determinism and parity" in
+:mod:`repro.sim.shards`).  The coordinator stamps delivery keys from
+the same ``(arrival, band, send-order token)`` scheme, routes records
+in the same globally sorted order, and applies the same
+straggler/annihilation fixpoint — so both backends inject the same
+records with the same keys, and the merged final state hashes
+bit-identical to a serial run whatever the round timing of the workers.
+
+GVT here is the minimum over worker heap peeks, not-yet-shipped
+delivery arrivals, and pending restore targets.  Annihilations only
+remove events and restores only re-add events at or above their target,
+so the estimate is conservative (never above the true GVT) — and an
+under-estimated GVT is always safe: it only shrinks the optimism
+window and defers fossil collection.
+
+Fallback
+--------
+
+:func:`make_sharded_kernel` is the backend resolver.  Environmental
+impossibility (no ``fork`` start method, a daemonic parent such as a
+sweep worker, spawn failure) degrades to the in-process kernel with a
+one-line ``[shards]`` notice; semantic errors (unshardable system,
+zero lookahead) raise :class:`~repro.errors.ShardingError` exactly as
+the in-process kernel would.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import sys
+from typing import Any, Callable
+
+from repro.errors import ShardingError
+from repro.net.message import Message
+from repro.sim.kernel import EventKey
+from repro.sim.shards import (
+    DEFAULT_WINDOW_FACTOR,
+    ShardFactory,
+    ShardPlan,
+    ShardStats,
+    ShardedSimulator,
+    WindowPacer,
+    _ANNIHILATED,
+    _BASE_CATCHUP_FLOOR,
+    _DELIVERED,
+    _DELIVERY_PRIORITY,
+    _Delivery,
+    _PRIORITY_CEILING,
+    _Shard,
+    build_replica,
+    check_merged_spans,
+    min_cross_latency,
+)
+
+#: Backend names accepted by :func:`make_sharded_kernel`.
+BACKEND_INPROC = "inproc"
+BACKEND_PROCESS = "process"
+SHARD_BACKENDS = (BACKEND_INPROC, BACKEND_PROCESS)
+
+
+def _notice(message: str) -> None:
+    print(f"[shards] {message}", file=sys.stderr)
+
+
+def process_backend_unavailable() -> str | None:
+    """Why the process backend cannot run here, or ``None`` if it can.
+
+    Workers are forked, not spawned: replica factories close over
+    workload configs and generator-driven process bodies that cannot be
+    pickled, and ``fork`` inherits them for free.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "fork start method unavailable on this platform"
+    if multiprocessing.current_process().daemon:
+        return "daemonic parent (sweep worker) cannot spawn shard processes"
+    return None
+
+
+def make_sharded_kernel(
+    factory: ShardFactory,
+    plan: ShardPlan,
+    policy: str = "optimistic",
+    window_factor: float = DEFAULT_WINDOW_FACTOR,
+    backend: str | None = None,
+) -> Any:
+    """Build a sharded kernel on the requested backend.
+
+    ``backend=None`` resolves via ``REPRO_SHARD_BACKEND`` (default
+    ``inproc``).  The process backend degrades to in-process — with a
+    one-line stderr notice — when the environment cannot support it;
+    semantic sharding errors raise as usual.  The returned kernel
+    exposes ``backend`` (``"inproc"`` or ``"process"``) for honest
+    reporting by benchmarks and smoke gates.
+    """
+    if backend is None:
+        from repro.experiments.runner import default_shard_backend
+
+        backend = default_shard_backend()
+    if backend not in SHARD_BACKENDS:
+        raise ShardingError(
+            f"unknown shard backend {backend!r}; use "
+            f"{BACKEND_INPROC!r} or {BACKEND_PROCESS!r}"
+        )
+    if backend == BACKEND_PROCESS:
+        reason = process_backend_unavailable()
+        if reason is None:
+            try:
+                return ProcessShardedSimulator(
+                    factory, plan, policy=policy, window_factor=window_factor
+                )
+            except (OSError, PermissionError) as exc:
+                reason = f"worker spawn failed: {exc}"
+        _notice(f"process backend unavailable ({reason}); falling back to inproc")
+    return ShardedSimulator(
+        factory, plan, policy=policy, window_factor=window_factor
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _picklable_locals(values: dict[str, Any]) -> dict[str, Any]:
+    """The subset of a node's scratch locals that can cross the pipe."""
+    safe: dict[str, Any] = {}
+    for key, value in values.items():
+        try:
+            pickle.dumps(value)
+        except Exception:
+            continue
+        safe[key] = value
+    return safe
+
+
+def _worker_main(
+    conn: Any,
+    factory: ShardFactory,
+    owner: tuple[int, ...],
+    index: int,
+    policy: str,
+) -> None:
+    """One shard's event loop: obey round commands until finalized."""
+    try:
+        owned = frozenset(
+            node for node, shard_index in enumerate(owner) if shard_index == index
+        )
+        shard = _Shard(index, owned)
+        shard.front = build_replica(factory, owned, suppress=False)
+        if policy == "optimistic":
+            shard.base = build_replica(factory, owned, suppress=True)
+        machine = shard.front.machine
+        queue = machine.sim._queue
+        conn.send(
+            (
+                "ok",
+                {
+                    "n_nodes": machine.n_nodes,
+                    "system_name": shard.front.system.name,
+                    "lookahead": min_cross_latency(machine, owner),
+                    "peek": queue.peek_time() if queue else None,
+                },
+            )
+        )
+    except BaseException as exc:
+        conn.send(("error", type(exc).__name__, str(exc)))
+        return
+    #: Every delivery ever shipped here, by key (annihilation lookups).
+    records: dict[EventKey, _Delivery] = {}
+    try:
+        while True:
+            cmd = conn.recv()
+            op = cmd[0]
+            if op == "round":
+                (_, gvt, horizon, injects, annihilate_keys,
+                 restore_target, advance, cadence) = cmd
+                replayed = 0
+                for key in annihilate_keys:
+                    records[key].annihilate()
+                if restore_target is not None:
+                    replayed += shard.restore(
+                        restore_target,
+                        lambda: build_replica(factory, owned, suppress=True),
+                    )
+                front = shard.front
+                for record in injects:
+                    records[record.key] = record
+                    shard.inputs.append(record)
+                    if shard.base is not None:
+                        shard.enqueue_base(record)
+                    record.inject(front.machine)
+                if advance and shard.base is not None:
+                    budget = cadence * max(
+                        _BASE_CATCHUP_FLOOR, 4 * shard.round_fired
+                    )
+                    replayed += shard.advance_base(
+                        (gvt, _PRIORITY_CEILING, 0), budget
+                    )
+                fired = front.drain(horizon)
+                shard.round_fired = fired
+                outbox = list(front.router.outbox)
+                front.router.outbox.clear()
+                queue = front.machine.sim._queue
+                peek = queue.peek_time() if queue else None
+                conn.send(("round", outbox, front.lvt, peek, fired, replayed))
+            elif op == "finalize":
+                conn.send(("finalize", _finalize_payload(shard)))
+                return
+            elif op == "stop":
+                return
+            else:  # pragma: no cover - protocol bug
+                raise ShardingError(f"unknown worker command {op!r}")
+    except BaseException as exc:
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+
+
+def _finalize_payload(shard: _Shard) -> dict[str, Any]:
+    """Everything the coordinator needs after the run, in plain data."""
+    from repro.sim.statehash import _group_state, _node_state
+
+    machine = shard.front.machine
+    owned = sorted(shard.owned)
+    quiescent_error: str | None = None
+    try:
+        machine.sim.check_quiescent()
+    except Exception as exc:
+        quiescent_error = f"{type(exc).__name__}: {exc}"
+    occupancy_error: str | None = None
+    spans: list[tuple[str, float, float, int]] = []
+    if machine.checker is not None:
+        try:
+            machine.checker.verify_no_occupancy()
+        except Exception as exc:
+            occupancy_error = f"{type(exc).__name__}: {exc}"
+        spans = [
+            (span.lock, span.enter, span.exit, span.node)
+            for span in machine.checker.spans
+        ]
+    suppressed = shard.front.router.suppressed
+    if shard.base is not None:
+        suppressed += shard.base.router.suppressed
+    return {
+        "now": machine.sim.now,
+        "nodes": {node: _node_state(machine, node) for node in owned},
+        "groups": {
+            name: _group_state(machine, name)
+            for name in machine.groups
+            if machine.groups[name].root in shard.owned
+        },
+        "locals": {
+            node: _picklable_locals(machine.nodes[node].locals)
+            for node in owned
+        },
+        "metrics": {node: machine.nodes[node].metrics for node in owned},
+        "spans": spans,
+        "quiescent_error": quiescent_error,
+        "occupancy_error": occupancy_error,
+        "suppressed": suppressed,
+    }
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class _StoreView:
+    """Read-only stand-in for a node's LocalStore, from shipped state."""
+
+    __slots__ = ("_slots",)
+
+    def __init__(self, slots: dict[str, tuple[Any, int]]) -> None:
+        self._slots = slots
+
+    def read(self, name: str) -> Any:
+        return self._slots[name][0]
+
+
+class _NodeView:
+    """Read-only stand-in for a NodeHandle, from shipped worker state."""
+
+    __slots__ = ("id", "locals", "metrics", "store")
+
+    def __init__(
+        self,
+        node_id: int,
+        locals_: dict[str, Any],
+        metrics: Any,
+        store: _StoreView,
+    ) -> None:
+        self.id = node_id
+        self.locals = locals_
+        self.metrics = metrics
+        self.store = store
+
+    def __repr__(self) -> str:
+        return f"_NodeView({self.id})"
+
+
+class _WorkerHandle:
+    """Coordinator-side bookkeeping for one shard worker."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "conn",
+        "peek",
+        "lvt",
+        "outbox",
+        "outputs",
+        "pending_inject",
+        "pending_annihilate",
+        "pending_restore",
+    )
+
+    def __init__(self, index: int, process: Any, conn: Any) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        #: Head-of-heap time from the last reply (None = drained dry).
+        self.peek: float | None = None
+        #: Last executed key from the last reply (local virtual time).
+        self.lvt: EventKey | None = None
+        #: Raw outbox entries from the last reply, pre-routing.
+        self.outbox: list[tuple] = []
+        #: Master records this shard emitted (annihilation fixpoint;
+        #: fossil-collected below GVT like the in-process kernel).
+        self.outputs: list[_Delivery] = []
+        #: Routed records awaiting shipment next round.
+        self.pending_inject: list[_Delivery] = []
+        #: Keys of shipped records to cancel next round.
+        self.pending_annihilate: list[EventKey] = []
+        #: Coast-forward target to apply next round, if any.
+        self.pending_restore: EventKey | None = None
+
+
+class ProcessShardedSimulator:
+    """Drives one forked worker per shard through the GVT round loop.
+
+    API-compatible with :class:`~repro.sim.shards.ShardedSimulator` for
+    everything the workloads, campaign trials, and benchmarks consume:
+    ``run``/``verify``/``state_hash``/``merged_metrics``/``node``/
+    ``nodes``/``elapsed``/``stats``/``on_gvt``/``system_name``.  Final
+    node and group state crosses the pipe once, at finalize, as the
+    same canonical dicts :mod:`repro.sim.statehash` builds — so the
+    assembled payload (and therefore the hash) is bit-identical to the
+    in-process and serial kernels'.
+    """
+
+    backend = BACKEND_PROCESS
+
+    def __init__(
+        self,
+        factory: ShardFactory,
+        plan: ShardPlan,
+        policy: str = "optimistic",
+        window_factor: float = DEFAULT_WINDOW_FACTOR,
+    ) -> None:
+        if policy not in ("conservative", "optimistic"):
+            raise ShardingError(
+                f"unknown sync policy {policy!r}; use 'conservative' or 'optimistic'"
+            )
+        if window_factor < 1.0:
+            raise ShardingError(
+                f"window_factor must be >= 1 (got {window_factor})"
+            )
+        self.factory = factory
+        self.plan = plan
+        self.policy = policy
+        self.stats = ShardStats()
+        #: Optional observer called with each round's GVT estimate.
+        self.on_gvt: Callable[[float], None] | None = None
+        self._finished = False
+        self._finalized: list[dict[str, Any]] | None = None
+        self._node_views: dict[int, _NodeView] = {}
+        self._workers: list[_WorkerHandle] = []
+        context = multiprocessing.get_context("fork")
+        try:
+            for index in range(plan.n_shards):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, factory, plan.owner, index, policy),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append(_WorkerHandle(index, process, parent_conn))
+            infos = []
+            for worker in self._workers:
+                info = self._recv(worker)[1]
+                worker.peek = info["peek"]
+                infos.append(info)
+        except BaseException:
+            self._shutdown()
+            raise
+        self.n_nodes = infos[0]["n_nodes"]
+        self.system_name = infos[0]["system_name"]
+        self.lookahead = infos[0]["lookahead"]
+        if self.lookahead <= 0.0:
+            self._shutdown()
+            raise ShardingError(
+                "zero cross-shard lookahead (hop_latency=0 or co-located "
+                "shards): sharding cannot make progress; run serial"
+            )
+        self.window = (
+            self.lookahead
+            if policy == "conservative"
+            else self.lookahead * window_factor
+        )
+        self.pacer = WindowPacer(self.lookahead, self.window)
+
+    # ------------------------------------------------------------------
+    # Worker plumbing
+    # ------------------------------------------------------------------
+
+    def _recv(self, worker: _WorkerHandle) -> tuple:
+        try:
+            reply = worker.conn.recv()
+        except EOFError:
+            raise ShardingError(
+                f"shard {worker.index} worker died mid-run"
+            ) from None
+        if reply[0] == "error":
+            raise ShardingError(
+                f"shard {worker.index} worker failed: {reply[1]}: {reply[2]}"
+            )
+        return reply
+
+    def _shutdown(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.conn.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+            if worker.process.is_alive():
+                worker.process.terminate()
+        for worker in self._workers:
+            worker.process.join(timeout=5)
+
+    # ------------------------------------------------------------------
+    # The round loop
+    # ------------------------------------------------------------------
+
+    def _gvt(self) -> float | None:
+        """Conservative GVT: worker peeks, unshipped arrivals, restores."""
+        best: float | None = None
+        for worker in self._workers:
+            if worker.peek is not None and (best is None or worker.peek < best):
+                best = worker.peek
+            for record in worker.pending_inject:
+                if record.state != _ANNIHILATED and (
+                    best is None or record.key[0] < best
+                ):
+                    best = record.key[0]
+            if worker.pending_restore is not None and (
+                best is None or worker.pending_restore[0] < best
+            ):
+                best = worker.pending_restore[0]
+        return best
+
+    def run(self, max_rounds: int | None = None) -> float:
+        """Drive all workers to completion; returns the final clock."""
+        if self._finished:
+            raise ShardingError("sharded run already finished")
+        optimistic = self.policy == "optimistic"
+        pacer = self.pacer
+        try:
+            while True:
+                gvt = self._gvt()
+                if gvt is None:
+                    break
+                if self.on_gvt is not None:
+                    self.on_gvt(gvt)
+                self.stats.rounds += 1
+                if max_rounds is not None and self.stats.rounds > max_rounds:
+                    raise ShardingError(
+                        f"exceeded max_rounds={max_rounds}; likely a livelock"
+                    )
+                advance = optimistic and pacer.should_advance()
+                horizon: EventKey = (gvt + self.window, -_PRIORITY_CEILING, 0)
+                for worker in self._workers:
+                    injects = [
+                        record
+                        for record in worker.pending_inject
+                        if record.state != _ANNIHILATED
+                    ]
+                    for record in injects:
+                        record.state = _DELIVERED
+                    worker.conn.send(
+                        (
+                            "round",
+                            gvt,
+                            horizon,
+                            injects,
+                            worker.pending_annihilate,
+                            worker.pending_restore,
+                            advance,
+                            pacer.cadence,
+                        )
+                    )
+                    worker.pending_inject = []
+                    worker.pending_annihilate = []
+                    worker.pending_restore = None
+                for worker in self._workers:
+                    _, outbox, lvt, peek, fired, replayed = self._recv(worker)
+                    worker.outbox = outbox
+                    worker.lvt = lvt
+                    worker.peek = peek
+                    self.stats.executed += fired
+                    self.stats.replayed += replayed
+                stragglers = self._route_round()
+                if stragglers:
+                    if not optimistic:
+                        raise ShardingError(
+                            "straggler under the conservative policy: the "
+                            "lookahead bound was violated (internal error)"
+                        )
+                    self._rollback(stragglers)
+                if optimistic:
+                    pacer.note_round(bool(stragglers))
+                    self.window = pacer.window
+                self._fossil_collect(gvt)
+            self._finalize()
+        finally:
+            self._shutdown()
+        self._finished = True
+        return self.elapsed
+
+    def _route_round(self) -> dict[int, EventKey]:
+        """Stamp keys, queue injections, find stragglers — mirrors
+        :meth:`ShardedSimulator._route_round` over shipped outboxes."""
+        entries: list[tuple[float, tuple, int, Message, int, EventKey]] = []
+        for worker in self._workers:
+            if worker.outbox:
+                for msg, arrival, copies, token, emit_key in worker.outbox:
+                    entries.append(
+                        (arrival, token, worker.index, msg, copies, emit_key)
+                    )
+                worker.outbox = []
+        if not entries:
+            return {}
+        entries.sort(key=lambda entry: entry[:2])
+        stragglers: dict[int, EventKey] = {}
+        owner = self.plan.owner
+        for arrival, token, src_shard, msg, copies, emit_key in entries:
+            dst_index = owner[msg.dst]
+            dst = self._workers[dst_index]
+            send_time, send_src, send_idx = token
+            for copy in range(copies):
+                record = _Delivery(
+                    (
+                        arrival,
+                        _DELIVERY_PRIORITY,
+                        (send_time, send_src, send_idx + copy),
+                    ),
+                    emit_key,
+                    src_shard,
+                    dst_index,
+                    msg,
+                )
+                self._workers[src_shard].outputs.append(record)
+                dst.pending_inject.append(record)
+                self.stats.routed += 1
+                lvt = dst.lvt
+                if lvt is not None and record.key <= lvt:
+                    # Straggler: arrived in the shard's executed past.
+                    self.stats.stragglers += 1
+                    current = stragglers.get(dst_index)
+                    if current is None or record.key < current:
+                        stragglers[dst_index] = record.key
+        return stragglers
+
+    def _rollback(self, stragglers: dict[int, EventKey]) -> None:
+        """Annihilation fixpoint over master records, then directives.
+
+        "Executed" is inferred rather than observed: a record was
+        executed iff it was shipped, not annihilated, and its key is at
+        or below the destination's post-drain LVT (injection precedes
+        the drain; replicas fire deliveries in key order).
+        """
+        targets = dict(stragglers)
+        changed = True
+        while changed:
+            changed = False
+            for index in list(targets):
+                target = targets[index]
+                for record in self._workers[index].outputs:
+                    if record.state == _ANNIHILATED or record.emit_key < target:
+                        continue
+                    shipped = record.state == _DELIVERED
+                    dst = self._workers[record.dst_shard]
+                    executed = (
+                        shipped
+                        and dst.lvt is not None
+                        and record.key <= dst.lvt
+                    )
+                    record.state = _ANNIHILATED
+                    self.stats.annihilated += 1
+                    if shipped:
+                        # The worker holds this record (pending event or
+                        # executed input); cancel it before any restore.
+                        dst.pending_annihilate.append(record.key)
+                    if executed:
+                        current = targets.get(record.dst_shard)
+                        if current is None or record.key < current:
+                            targets[record.dst_shard] = record.key
+                            changed = True
+        for index, target in targets.items():
+            worker = self._workers[index]
+            if worker.pending_restore is None or target < worker.pending_restore:
+                worker.pending_restore = target
+            self.stats.rollbacks += 1
+
+    def _fossil_collect(self, gvt: float) -> None:
+        for worker in self._workers:
+            outputs = worker.outputs
+            if outputs and any(record.emit_key[0] <= gvt for record in outputs):
+                worker.outputs = [
+                    record for record in outputs if record.emit_key[0] > gvt
+                ]
+
+    def _finalize(self) -> None:
+        for worker in self._workers:
+            worker.conn.send(("finalize",))
+        payloads = []
+        for worker in self._workers:
+            payloads.append(self._recv(worker)[1])
+        self._finalized = payloads
+        self.stats.suppressed = sum(p["suppressed"] for p in payloads)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def _payloads(self) -> list[dict[str, Any]]:
+        if self._finalized is None:
+            raise ShardingError("sharded run has not finished")
+        return self._finalized
+
+    @property
+    def owner_of(self) -> tuple[int, ...]:
+        return self.plan.owner
+
+    @property
+    def elapsed(self) -> float:
+        """The final clock: time of the last event executed anywhere."""
+        return max(payload["now"] for payload in self._payloads())
+
+    def node(self, node_id: int) -> _NodeView:
+        """Node ``node_id``'s read-only view from its owning worker."""
+        view = self._node_views.get(node_id)
+        if view is None:
+            payload = self._payloads()[self.plan.owner[node_id]]
+            state = payload["nodes"][node_id]
+            view = _NodeView(
+                node_id,
+                payload["locals"][node_id],
+                payload["metrics"][node_id],
+                _StoreView(state["store"]),
+            )
+            self._node_views[node_id] = view
+        return view
+
+    @property
+    def nodes(self) -> list[_NodeView]:
+        return [self.node(node_id) for node_id in range(self.n_nodes)]
+
+    def merged_metrics(self) -> Any:
+        from repro.metrics.collector import MachineMetrics
+
+        merged = MachineMetrics(self.n_nodes)
+        merged.nodes = [
+            self.node(node_id).metrics for node_id in range(self.n_nodes)
+        ]
+        merged.elapsed = self.elapsed
+        return merged
+
+    def state_hash(self) -> str:
+        """Canonical hash of the merged final state (parity comparator).
+
+        Workers ship the exact per-node / per-group dicts
+        :func:`repro.sim.statehash.state_payload` would read in-process,
+        so assembling them reproduces the serial payload bit-for-bit.
+        """
+        from repro.sim.statehash import hash_payload
+
+        payloads = self._payloads()
+        nodes: dict[int, Any] = {}
+        groups: dict[str, Any] = {}
+        for payload in payloads:
+            nodes.update(payload["nodes"])
+            groups.update(payload["groups"])
+        return hash_payload(
+            {
+                "n_nodes": self.n_nodes,
+                "clock": self.elapsed,
+                "nodes": nodes,
+                "groups": groups,
+            }
+        )
+
+    def verify(self) -> None:
+        """Post-run checks: quiescence and global mutual exclusion."""
+        spans: list[tuple[str, float, float, int]] = []
+        for index, payload in enumerate(self._payloads()):
+            if payload["quiescent_error"] is not None:
+                raise ShardingError(
+                    f"shard {index}: {payload['quiescent_error']}"
+                )
+            if payload["occupancy_error"] is not None:
+                raise ShardingError(
+                    f"shard {index}: {payload['occupancy_error']}"
+                )
+            spans.extend(tuple(span) for span in payload["spans"])
+        check_merged_spans(spans)

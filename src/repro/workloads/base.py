@@ -118,6 +118,7 @@ def run_sharded(
     n_nodes: int,
     shards: int,
     policy: str,
+    backend: str | None = None,
     **extra: Any,
 ) -> WorkloadResult:
     """Run a workload under the sharded kernel and package the result.
@@ -129,21 +130,26 @@ def run_sharded(
     each node from its owning replica, directly comparable (bit-for-bit)
     with a serial :func:`finish` result.
 
+    ``backend`` selects the shard execution backend — ``"inproc"``
+    (cooperative, one process) or ``"process"`` (one forked worker per
+    shard; see :mod:`repro.sim.procshards`); ``None`` resolves via
+    ``REPRO_SHARD_BACKEND``.  State hashes are bit-identical either way.
+
     The kernel itself rides along as ``result.extra["_kernel"]`` so the
     workload driver can read merged node handles for its own accounting;
     drivers pop it before returning (it holds live simulator state and
     must not leak into pickled sweep results).
     """
-    from repro.sim.shards import ShardPlan, ShardedSimulator
-    from repro.sim.statehash import state_hash
+    from repro.sim.procshards import make_sharded_kernel
+    from repro.sim.shards import ShardPlan
 
     plan = ShardPlan.from_groups(n_nodes, shards)
-    kernel = ShardedSimulator(factory, plan, policy=policy)
+    kernel = make_sharded_kernel(factory, plan, policy=policy, backend=backend)
     kernel.run()
     kernel.verify()
     metrics = kernel.merged_metrics()
     result = WorkloadResult(
-        system=kernel.shards[0].front.system.name,
+        system=kernel.system_name,
         n_nodes=n_nodes,
         elapsed=metrics.elapsed,
         metrics=metrics,
@@ -152,8 +158,9 @@ def run_sharded(
     result.extra.update(
         shards=plan.n_shards,
         shard_policy=policy,
+        shard_backend=kernel.backend,
         shard_stats=kernel.stats.summary(),
-        state_hash=state_hash(kernel.machines, kernel.owner_of),
+        state_hash=kernel.state_hash(),
     )
     result.extra["_kernel"] = kernel
     return result

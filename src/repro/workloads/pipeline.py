@@ -83,6 +83,10 @@ class PipelineConfig:
     shards: int = 1
     #: ``"optimistic"`` (Time Warp rollback) or ``"conservative"``.
     shard_policy: str = "optimistic"
+    #: Shard execution backend: ``"inproc"``, ``"process"``, or ``None``
+    #: to resolve via ``REPRO_SHARD_BACKEND`` (see
+    #: :mod:`repro.sim.procshards`).  Parity is bit-identical either way.
+    shard_backend: "str | None" = None
     #: Optional fault schedule (see :mod:`repro.faults.plan`), installed
     #: on every build — serial and each shard replica alike, so chaos
     #: runs stay shard-parity-comparable when the plan itself is
@@ -203,6 +207,7 @@ def run_pipeline(config: PipelineConfig) -> WorkloadResult:
                 config.n_nodes,
                 config.shards,
                 config.shard_policy,
+                backend=config.shard_backend,
             )
             kernel = result.extra.pop("_kernel")
             nodes = kernel.nodes

@@ -156,6 +156,7 @@ class TestDeterminism:
             "chaos",
             "failover",
             "shard_smoke",
+            "shard_backend",
             "bench_kernel",
         ):
             assert expected in names

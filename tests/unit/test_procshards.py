@@ -1,0 +1,242 @@
+"""Unit tests: process-backend building blocks.
+
+Covers the pieces the process shard backend stands on, without forking
+anything: slot-exact pickling of every wire ``Message`` kind the tier-1
+workloads actually produce, ``_Delivery`` round-trips, the adaptive
+:class:`WindowPacer`, backend selection, and the sweep-vs-shards
+oversubscription clamp.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.procshards import (
+    BACKEND_INPROC,
+    BACKEND_PROCESS,
+    ProcessShardedSimulator,
+    make_sharded_kernel,
+    process_backend_unavailable,
+)
+from repro.sim.shards import (
+    _PENDING,
+    ShardedSimulator,
+    ShardingError,
+    ShardPlan,
+    WindowPacer,
+)
+from repro.workloads.pipeline import PipelineConfig, run_pipeline
+from repro.workloads.task_queue import (
+    TaskQueueConfig,
+    _build_task_queue,
+    run_task_queue,
+)
+
+
+def _capture_message_kinds(monkeypatch) -> dict[str, Message]:
+    """One exemplar Message per kind seen on the wire in tier-1 runs.
+
+    Captures at *both* ends — injection (``send``) and delivery (the
+    attached handler) — so batched fanout paths that construct their
+    messages at delivery time are covered too.
+    """
+    seen: dict[str, Message] = {}
+    orig_send = Network.send
+    orig_attach = Network.attach
+
+    def send(self, msg):
+        seen.setdefault(msg.kind, msg)
+        return orig_send(self, msg)
+
+    def attach(self, node, handler, **kwargs):
+        def wrapped(msg):
+            seen.setdefault(msg.kind, msg)
+            return handler(msg)
+
+        return orig_attach(self, node, wrapped, **kwargs)
+
+    monkeypatch.setattr(Network, "send", send)
+    monkeypatch.setattr(Network, "attach", attach)
+    run_task_queue(TaskQueueConfig(system="gwc", n_nodes=4, total_tasks=12))
+    run_task_queue(TaskQueueConfig(system="entry", n_nodes=3, total_tasks=8))
+    run_pipeline(
+        PipelineConfig(system="gwc_optimistic", n_nodes=4, data_size=16)
+    )
+    return seen
+
+
+class TestMessagePickling:
+    def test_every_tier1_message_kind_roundtrips_slot_identically(
+        self, monkeypatch
+    ):
+        seen = _capture_message_kinds(monkeypatch)
+        # A run that produced no messages would make this test vacuous.
+        assert len(seen) >= 5, sorted(seen)
+        for kind, msg in sorted(seen.items()):
+            copy = pickle.loads(pickle.dumps(msg))
+            for slot in Message.__slots__:
+                assert getattr(copy, slot) == getattr(msg, slot), (
+                    f"kind {kind!r}: slot {slot!r} did not round-trip"
+                )
+
+    def test_getstate_is_a_plain_tuple(self):
+        msg = Message(src=1, dst=2, kind="x", payload=(3, "y"), size_bytes=64)
+        state = msg.__getstate__()
+        assert isinstance(state, tuple)
+        assert len(state) == len(Message.__slots__)
+
+
+class TestDeliveryPickling:
+    def test_sharded_run_inputs_roundtrip(self):
+        config = TaskQueueConfig(system="gwc", n_nodes=5, total_tasks=16)
+        kernel = ShardedSimulator(
+            lambda owned: _build_task_queue(config, owned),
+            ShardPlan.from_groups(5, 2),
+            policy="optimistic",
+        )
+        kernel.run()
+        records = [r for shard in kernel.shards for r in shard.inputs]
+        assert records, "no cross-shard deliveries: test is vacuous"
+        for record in records:
+            copy = pickle.loads(pickle.dumps(record))
+            for field in (
+                "key",
+                "emit_key",
+                "src_shard",
+                "dst_shard",
+                "src",
+                "dst",
+                "kind",
+                "payload",
+                "size",
+                "sent_at",
+            ):
+                assert getattr(copy, field) == getattr(record, field)
+            # Execution state never crosses the wire: a shipped record
+            # arrives pending, with no scheduled event or bound handler.
+            assert copy.state == _PENDING
+            assert copy.event is None
+
+
+class TestWindowPacer:
+    def test_rollback_shrinks_window_to_floor(self):
+        pacer = WindowPacer(lookahead=1.0, window=16.0)
+        pacer.note_round(rolled_back=True)
+        assert pacer.window == 4.0
+        for _ in range(10):
+            pacer.note_round(rolled_back=True)
+        assert pacer.window == 1.0  # floored at the lookahead
+
+    def test_clean_rounds_recover_to_ceiling(self):
+        pacer = WindowPacer(lookahead=1.0, window=16.0)
+        pacer.note_round(rolled_back=True)
+        for _ in range(200):
+            pacer.note_round(rolled_back=False)
+        assert pacer.window == 16.0  # capped at the configured window
+
+    def test_cadence_doubles_on_clean_streaks_and_resets_on_rollback(self):
+        pacer = WindowPacer(lookahead=1.0, window=16.0)
+        assert pacer.cadence == 1
+        for _ in range(WindowPacer.CLEAN_STREAK):
+            pacer.note_round(rolled_back=False)
+        assert pacer.cadence == 2
+        for _ in range(WindowPacer.CLEAN_STREAK):
+            pacer.note_round(rolled_back=False)
+        assert pacer.cadence == 4
+        pacer.note_round(rolled_back=True)
+        assert pacer.cadence == 1
+
+    def test_cadence_is_capped(self):
+        pacer = WindowPacer(lookahead=1.0, window=16.0)
+        for _ in range(100):
+            pacer.note_round(rolled_back=False)
+        assert pacer.cadence == WindowPacer.MAX_CADENCE
+
+    def test_should_advance_fires_every_cadence_rounds(self):
+        pacer = WindowPacer(lookahead=1.0, window=16.0)
+        pacer.cadence = 3
+        fires = [pacer.should_advance() for _ in range(9)]
+        assert fires == [False, False, True] * 3
+
+    def test_rollback_resets_the_skip_counter(self):
+        pacer = WindowPacer(lookahead=1.0, window=16.0)
+        pacer.cadence = 4
+        assert not pacer.should_advance()
+        assert not pacer.should_advance()
+        pacer.note_round(rolled_back=True)  # cadence back to 1
+        assert pacer.should_advance()
+
+
+class TestBackendSelection:
+    CONFIG = TaskQueueConfig(system="gwc", n_nodes=4, total_tasks=8)
+
+    def _kernel(self, backend):
+        return make_sharded_kernel(
+            lambda owned: _build_task_queue(self.CONFIG, owned),
+            ShardPlan.from_groups(4, 2),
+            policy="optimistic",
+            backend=backend,
+        )
+
+    def test_inproc_backend(self):
+        kernel = self._kernel(BACKEND_INPROC)
+        assert isinstance(kernel, ShardedSimulator)
+        assert kernel.backend == BACKEND_INPROC
+
+    def test_process_backend(self):
+        if process_backend_unavailable():
+            pytest.skip(process_backend_unavailable())
+        kernel = self._kernel(BACKEND_PROCESS)
+        try:
+            assert isinstance(kernel, ProcessShardedSimulator)
+            assert kernel.backend == BACKEND_PROCESS
+        finally:
+            kernel._shutdown()
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ShardingError, match="backend"):
+            self._kernel("threads")
+
+    def test_env_default(self, monkeypatch):
+        from repro.experiments.runner import default_shard_backend
+
+        monkeypatch.delenv("REPRO_SHARD_BACKEND", raising=False)
+        assert default_shard_backend() == "inproc"
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "process")
+        assert default_shard_backend() == "process"
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "gpu")
+        with pytest.raises(ExperimentError, match="REPRO_SHARD_BACKEND"):
+            default_shard_backend()
+
+
+class TestOversubscriptionClamp:
+    def _clamp(self, jobs, shards, backend="process", available=4):
+        from repro.experiments.runner import clamp_oversubscription
+
+        return clamp_oversubscription(
+            jobs, shards, backend, available=available
+        )
+
+    def test_clamps_when_jobs_times_shards_exceed_cpus(self, capsys):
+        assert self._clamp(jobs=4, shards=4, available=8) == 2
+        assert "[sweep]" in capsys.readouterr().err
+
+    def test_never_clamps_below_one(self):
+        assert self._clamp(jobs=4, shards=16, available=4) == 1
+
+    def test_inproc_backend_is_untouched(self):
+        assert self._clamp(jobs=8, shards=8, backend="inproc") == 8
+
+    def test_serial_sweep_is_untouched(self):
+        assert self._clamp(jobs=1, shards=8) == 1
+
+    def test_unsharded_points_are_untouched(self):
+        assert self._clamp(jobs=8, shards=1) == 8
+
+    def test_fitting_workload_is_untouched(self):
+        assert self._clamp(jobs=2, shards=2, available=8) == 2
