@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test chaos-smoke failover-smoke campaign-smoke shard-smoke goldens verify-goldens bench bench-full bench-json perf-smoke profile examples figures all clean
+.PHONY: install test chaos-smoke failover-smoke campaign-smoke shard-smoke sharded-root-smoke goldens verify-goldens bench bench-full bench-json perf-smoke profile examples figures all clean
 
 install:
 	$(PY) setup.py develop
@@ -12,6 +12,7 @@ test:
 	PYTHONPATH=src $(PY) -m repro chaos --smoke
 	PYTHONPATH=src $(PY) -m repro chaos --scenario crash_root --seeds 3
 	PYTHONPATH=src $(PY) -m repro campaign --smoke
+	PYTHONPATH=src $(PY) -m repro sharded-root-smoke
 
 # Deterministic fault-injection mini-matrix (< 30 s); part of `make test`.
 chaos-smoke:
@@ -34,6 +35,12 @@ campaign-smoke:
 shard-smoke:
 	PYTHONPATH=src $(PY) -m repro shard-smoke
 	PYTHONPATH=src $(PY) -m repro shard-smoke --shards 4
+
+# Sharded-root parity smoke: serial vs root-sharded state hashes across
+# partition counts, relay fanouts, and an online re-partition, on two
+# (seed, topology) triples; part of `make test`.
+sharded-root-smoke:
+	PYTHONPATH=src $(PY) -m repro sharded-root-smoke
 
 # Continuous-verify drift gate: regenerate every golden surface and
 # compare bit-for-bit against the committed goldens/ tree.  Exit 0

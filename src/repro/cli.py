@@ -222,6 +222,94 @@ def _cmd_shard_smoke(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_rootshard(args: argparse.Namespace) -> int:
+    """Sharded-root sweep: serial-vs-sharded parity + per-root load."""
+    from repro.experiments import rootshard
+
+    if args.sizes:
+        sizes = _parse_sizes(args.sizes)
+    elif args.full:
+        sizes = (16, 64, 256, 1024)
+    else:
+        sizes = (16, 64, 128)
+    fanout = None if args.fanout == 0 else args.fanout
+    rows = rootshard.run_rootshard_sweep(
+        sizes=sizes,
+        roots=args.roots,
+        fanout=fanout,
+        seed=args.seed,
+        rebalance=not args.no_rebalance,
+        jobs=args.jobs,
+    )
+    print(rootshard.render(rows))
+    print()
+    for row in rows:
+        if row.load_after:
+            print(
+                f"  n={row.n_nodes}: per-root load after re-partition "
+                f"{row.load_after} (before fence: {row.load_before})"
+            )
+    print()
+    checks = rootshard.expectations(rows)
+    for check in checks:
+        print(check)
+    return 0 if all(c.holds for c in checks) else 1
+
+
+def _cmd_sharded_root_smoke(args: argparse.Namespace) -> int:
+    """Sharded-root parity smoke: every layout must match serial."""
+    from repro.experiments.rootshard import MAX_OVER_MEAN_BAR, point_config
+    from repro.params import PAPER_PARAMS
+    from repro.workloads.rootshard import run_rootshard
+
+    failures = 0
+    print("sharded-root smoke (semantic parity vs single-root serial):")
+    for n_nodes, seed, topology in (
+        (16, 0, "mesh_torus"),
+        (24, 1, "ring"),
+    ):
+        serial = run_rootshard(
+            point_config(
+                n_nodes, 1, None, seed, topology, PAPER_PARAMS,
+                rebalance=False,
+            )
+        )
+        for roots, fanout, rebalance in (
+            (2, None, False),
+            (4, None, False),
+            (4, 3, False),
+            (4, 3, True),
+        ):
+            result = run_rootshard(
+                point_config(
+                    n_nodes, roots, fanout, seed, topology, PAPER_PARAMS,
+                    rebalance=rebalance,
+                )
+            )
+            ok = (
+                result.extra["shared_hash"] == serial.extra["shared_hash"]
+                and result.extra["correct"]
+            )
+            ratio = result.extra["max_over_mean_after"]
+            if rebalance and (ratio is None or ratio > MAX_OVER_MEAN_BAR):
+                ok = False
+            failures += not ok
+            detail = (
+                f"max/mean={ratio:.2f} "
+                f"moves={len(result.extra['migration_moves'] or {})}"
+                if rebalance and ratio is not None
+                else f"load={result.extra['load_total']}"
+            )
+            print(
+                f"  {topology:<10s} n={n_nodes:<3d} roots={roots} "
+                f"fanout={fanout if fanout is not None else '-'} "
+                f"rebalance={'y' if rebalance else 'n'} "
+                f"{'OK  ' if ok else 'FAIL'} {detail}"
+            )
+    print("PARITY OK" if failures == 0 else f"PARITY FAILED ({failures})")
+    return 0 if failures == 0 else 1
+
+
 def _cmd_figure7(args: argparse.Namespace) -> int:
     from repro.workloads.scenarios import Figure7Config, run_figure7
 
@@ -782,6 +870,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard execution backend (default: $REPRO_SHARD_BACKEND)",
     )
     psm.set_defaults(fn=_cmd_shard_smoke)
+
+    prs = sub.add_parser(
+        "rootshard",
+        help="sharded group roots: serial parity + per-root load sweep",
+    )
+    prs.add_argument("--full", action="store_true", help="sweep up to 1024 CPUs")
+    prs.add_argument("--sizes", type=str, default="")
+    prs.add_argument(
+        "--roots", type=int, default=4, metavar="K",
+        help="root partitions per group (default 4)",
+    )
+    prs.add_argument(
+        "--fanout", type=int, default=8, metavar="F",
+        help="relay-tree fanout for hierarchical multicast; 0 = direct",
+    )
+    prs.add_argument("--seed", type=int, default=0)
+    prs.add_argument(
+        "--no-rebalance", action="store_true",
+        help="skip the online re-partition of the injected hot key",
+    )
+    _add_jobs(prs)
+    prs.set_defaults(fn=_cmd_rootshard)
+
+    prsm = sub.add_parser(
+        "sharded-root-smoke",
+        help="sharded-root parity smoke: every root layout must match serial",
+    )
+    prsm.set_defaults(fn=_cmd_sharded_root_smoke)
 
     pa = sub.add_parser("ablations", help="threshold / filter / protocol ablations")
     _add_jobs(pa)

@@ -104,7 +104,7 @@ class DsmSystem(ABC):
     ) -> Generator[Any, Any, SectionOutcome]:
         """Run the body while the lock is held; time counts as useful."""
         checker = self.machine.checker
-        if self.machine.failover_manager is None:
+        if not self.machine.epoch_fencing:
             if checker is not None:
                 checker.enter(section.lock, node.id, node.sim.now)
             ctx = SectionContext(

@@ -61,6 +61,23 @@ class GroupRootEngine:
         #: issued into the failover window, dropped by the new root
         #: exactly like a non-holder's speculative write (§4).
         self.window_discards = 0
+        #: Writes this engine itself stamped and multicast.  Unlike
+        #: :attr:`sequenced` (which a successor inherits via
+        #: :meth:`adopt_state`), this counts only local sequencing work,
+        #: so per-root load comparisons reflect where work happened.
+        self.locally_sequenced = 0
+        #: Local sequencing work by sequencing unit (a lock write or a
+        #: write to its mutex data counts against the lock; a standalone
+        #: variable counts against itself).  Feeds hot-unit detection
+        #: and the per-root load CSV fields.
+        self.load_by_unit: dict[str, int] = {}
+        #: Local sequencing work by sequencer epoch.
+        self.load_by_epoch: dict[int, int] = {}
+        #: Names whose ownership migrated *away* from this engine's
+        #: partition (online re-partitioning), and stale in-flight
+        #: updates for them discarded at the old owner's fence.
+        self.migrated: set[str] = set()
+        self.migration_discards = 0
         #: The root's authoritative value of every variable, updated at
         #: sequencing time.  Remote atomics (locks/rmw.py) serialize here.
         self._authoritative: dict[str, Any] = {}
@@ -191,6 +208,29 @@ class GroupRootEngine:
         self.sequenced = next_seq
         self._authoritative = dict(image)
 
+    def begin_migration_epoch(self, moved_names: "tuple[str, ...]") -> None:
+        """Fence this partition for an ownership handoff.
+
+        Bumps the sequencer epoch exactly like a failover takeover —
+        the new epoch starts at the current sequence position, so stale
+        in-flight updates (old epoch) are window-discarded and members
+        that adopt the fence jump their cursor to the refresh the
+        migration sequences right after this call.  ``moved_names`` are
+        recorded so their stale updates are attributed to migration.
+        """
+        self.epoch += 1
+        self.epoch_start_seq = self.sequenced
+        self.migrated.update(moved_names)
+        if self.sim.trace_enabled:
+            self.sim.tracer.record(
+                self.sim.now,
+                "root.migration_epoch",
+                group=self.group.name,
+                epoch=self.epoch,
+                epoch_start=self.epoch_start_seq,
+                moved=list(moved_names),
+            )
+
     def on_nack(self, member: int, from_seq: int) -> None:
         """Resend every sequenced packet from ``from_seq`` to ``member``."""
         if self.deposed:
@@ -303,6 +343,8 @@ class GroupRootEngine:
             # so the write is discarded like any non-holder speculation;
             # the origin re-issues after adopting the new epoch.
             self.window_discards += 1
+            if request.var in self.migrated:
+                self.migration_discards += 1
             if self.sim.trace_enabled:
                 self.sim.tracer.record(
                     self.sim.now,
@@ -336,6 +378,10 @@ class GroupRootEngine:
             # window; discard them all, one count per write, exactly as
             # if they had arrived as individual stale updates.
             self.window_discards += len(request.writes)
+            if self.migrated:
+                self.migration_discards += sum(
+                    var in self.migrated for var, _ in request.writes
+                )
             if self.sim.trace_enabled:
                 self.sim.tracer.record(
                     self.sim.now,
@@ -357,6 +403,14 @@ class GroupRootEngine:
     def _handle_write(self, var: str, value: Any, origin: int) -> None:
         """Lock-manage / discard / sequence one current-epoch write."""
         group = self.group
+        if var in self.migrated:
+            # A write buffered before an online re-partition moved the
+            # name away, flushed after this member adopted the bumped
+            # epoch.  This root no longer owns the declaration; discard
+            # like any migration-window write (the origin's durable-
+            # write retry re-routes to the new owner).
+            self.migration_discards += 1
+            return
         if group.is_lock(var):
             manager = self.lock_managers[var]
             for granted in manager.on_write(origin, value):
@@ -436,6 +490,14 @@ class GroupRootEngine:
             rebuilt=rebuilt,
         )
         self.sequenced += 1
+        self.locally_sequenced += 1
+        unit = var
+        if is_mutex_data:
+            decl = self.group.variables.get(var)
+            if decl is not None and decl.mutex_lock is not None:
+                unit = decl.mutex_lock
+        self.load_by_unit[unit] = self.load_by_unit.get(unit, 0) + 1
+        self.load_by_epoch[self.epoch] = self.load_by_epoch.get(self.epoch, 0) + 1
         if self.sim.trace_enabled:
             self.sim.tracer.record(
                 self.sim.now,
@@ -515,7 +577,11 @@ class GroupRootEngine:
             from repro.memory.interface import SUPPRESSED
 
             full_size = self.group.wire_bytes(var, self.packet_bytes)
-            header = dataclasses.replace(packet, value=SUPPRESSED)
+            # Point-to-point sends: stamped ``direct`` so hierarchical-
+            # multicast relays do not forward what every member already
+            # received straight from the root.
+            full = dataclasses.replace(packet, direct=True)
+            header = dataclasses.replace(packet, value=SUPPRESSED, direct=True)
             for member in self.group.members:
                 suppress = member in excluded
                 self.suppressed_sends += int(suppress)
@@ -524,7 +590,7 @@ class GroupRootEngine:
                         src=self.group.root,
                         dst=member,
                         kind="gwc.apply",
-                        payload=header if suppress else packet,
+                        payload=header if suppress else full,
                         size_bytes=self.packet_bytes if suppress else full_size,
                     )
                 )
@@ -593,6 +659,52 @@ class GwcSystem(DsmSystem):
 
     def release(self, node: NodeHandle, lock: str) -> Generator[Any, Any, None]:
         yield from self._client(lock).release(node)
+        if self.machine.migration_fencing:
+            yield from self._confirm_release(node, lock)
+
+    def _confirm_release(
+        self, node: NodeHandle, lock: str
+    ) -> Generator[Any, Any, None]:
+        """Wait out the release under a migration fence, re-sending if eaten.
+
+        The paper's release is fire-and-forget, and that is safe only
+        while the sequencer is immortal: a FREE in flight when a
+        migration epoch fence lands is window-discarded, leaving the
+        root convinced this node still holds the lock (and the fence's
+        refresh re-imposes the stale grant on this node's own store,
+        which would trip the next acquire's nesting check).  Requests
+        already recover via the retry policy and data writes via the
+        fenced durability barrier; this is the same barrier for the
+        release: poll until the sequenced stream moves past our grant,
+        re-issuing the FREE once the new epoch has been adopted.
+
+        Root *failover* does not need (or run) this barrier: there the
+        stale holder table dies with the old root, and the successor
+        rebuilds the lock from first-person member evidence — this
+        node's local FREE — so a lost release is corrected on the root
+        side.  Migration hands the exported table between two live
+        roots with no reconstruction step, which is exactly why the
+        client must make its release durable itself.
+        """
+        from repro.memory.varspace import FREE_VALUE, grant_value
+
+        mine = grant_value(node.id)
+        iface = node.iface
+        settle = self.machine.nack_timeout / 4.0
+        waits = 0
+        while (
+            iface._applied.get(lock) == mine or node.store.read(lock) == mine
+        ):
+            yield settle
+            waits += 1
+            if waits % 8 == 0:
+                iface.share_write(lock, FREE_VALUE)
+            if waits > 100_000:
+                from repro.errors import LockStateError
+
+                raise LockStateError(
+                    f"node {node.id}: release of {lock!r} never sequenced"
+                )
 
 
 class OptimisticGwcSystem(GwcSystem):

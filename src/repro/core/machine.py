@@ -28,7 +28,7 @@ from repro.errors import MemoryError_, NetworkError
 from repro.memory.interface import NodeInterface
 from repro.memory.sharing_group import SharingGroup
 from repro.memory.store import LocalStore
-from repro.memory.varspace import LockDecl, VarDecl
+from repro.memory.varspace import LockDecl, RootPartitionMap, VarDecl
 from repro.metrics.collector import MachineMetrics
 from repro.net.message import Message
 from repro.net.network import Network
@@ -89,6 +89,18 @@ class DSMMachine:
         #: Its presence gates the epoch-fenced critical-section paths;
         #: when ``None`` every section runs the original code path.
         self.failover_manager: Any = None
+        #: Set by :mod:`repro.memory.repartition` when online
+        #: re-partitioning may bump epochs on live roots; arms the same
+        #: fenced critical-section paths failover uses (see
+        #: :attr:`epoch_fencing`).
+        self._migration_fencing = False
+        #: family name -> partition-ordered subgroup names.  Every group
+        #: is a family (single-root groups are families of one); a
+        #: sharded-root group is K sibling subgroups over the same
+        #: members, each with its own root and sequence space.
+        self.families: dict[str, tuple[str, ...]] = {}
+        #: family name -> deterministic unit->partition assignment.
+        self.partition_maps: dict[str, RootPartitionMap] = {}
         #: When this machine is one shard's replica of a sharded run
         #: (see :mod:`repro.sim.shards`), the node ids this replica
         #: authoritatively executes; ``None`` means a serial machine
@@ -144,6 +156,22 @@ class DSMMachine:
     @property
     def n_nodes(self) -> int:
         return len(self.nodes)
+
+    @property
+    def migration_fencing(self) -> bool:
+        """Whether online re-partitioning may fence live-root epochs."""
+        return self._migration_fencing
+
+    @property
+    def epoch_fencing(self) -> bool:
+        """Whether critical sections must run the epoch-fenced paths.
+
+        True when root failover is installed *or* online re-partitioning
+        is armed — both can bump a group's epoch under a live section,
+        which the fenced lock-held and optimistic runners detect and
+        turn into a rollback + re-run.
+        """
+        return self.failover_manager is not None or self._migration_fencing
 
     # ------------------------------------------------------------------
     # Message dispatch
@@ -223,35 +251,107 @@ class DSMMachine:
     # Groups, variables, locks
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def subgroup_name(family: str, partition: int) -> str:
+        """Name of partition ``partition`` in a sharded-root family.
+
+        Partition 0 keeps the base name so single-root callers and
+        goldens are untouched; partition k is ``{family}@r{k}``.
+        """
+        return family if partition == 0 else f"{family}@r{partition}"
+
     def create_group(
         self,
         name: str,
         members: Iterable[int] | None = None,
         root: int = 0,
+        roots: Iterable[int] | None = None,
+        partition_seed: int = 0,
+        fanout: int | None = None,
     ) -> SharingGroup:
-        """Create a sharing group (default: all nodes, rooted at node 0)."""
+        """Create a sharing group (default: all nodes, rooted at node 0).
+
+        With ``roots=(r0, r1, ...)`` the group's address space is
+        *root-sharded*: K sibling subgroups are created over the same
+        members — partition 0 keeps ``name``, partition k is
+        ``{name}@r{k}`` — each with its own root, sequencer, and epoch.
+        A :class:`RootPartitionMap` seeded with ``partition_seed``
+        deterministically assigns every declared variable/lock unit to
+        one partition.  ``fanout`` bounds per-node multicast degree via
+        a hierarchical relay tree (None = direct root fanout).
+        """
         if name in self.groups:
             raise MemoryError_(f"group {name!r} already exists")
         member_tuple = (
             tuple(range(self.n_nodes)) if members is None else tuple(members)
         )
-        group = SharingGroup(name, self.network, member_tuple, root)
-        self.groups[name] = group
-        for node_id in group.members:
-            self.nodes[node_id].iface.join_group(group)
-        # The root engine lives on the root node's interface.
-        from repro.consistency.gwc import GroupRootEngine
+        root_tuple = (root,) if roots is None else tuple(roots)
+        if len(set(root_tuple)) != len(root_tuple):
+            raise MemoryError_(f"group {name!r}: duplicate roots {root_tuple}")
+        subgroup_names: list[str] = []
+        for partition, part_root in enumerate(root_tuple):
+            sub_name = self.subgroup_name(name, partition)
+            if sub_name in self.groups:
+                raise MemoryError_(f"group {sub_name!r} already exists")
+            group = SharingGroup(
+                sub_name,
+                self.network,
+                member_tuple,
+                part_root,
+                fanout=fanout,
+                family=name,
+                partition=partition,
+            )
+            self.groups[sub_name] = group
+            subgroup_names.append(sub_name)
+            for node_id in group.members:
+                self.nodes[node_id].iface.join_group(group)
+            # The root engine lives on the root node's interface.
+            from repro.consistency.gwc import GroupRootEngine
 
-        engine = GroupRootEngine(self.sim, group, self.params.packet_bytes)
-        if self.nack_timeout is not None:
-            engine.enable_reliability(heartbeat_interval=self.nack_timeout)
-        self.nodes[root].iface.root_engines[name] = engine
-        return group
+            engine = GroupRootEngine(self.sim, group, self.params.packet_bytes)
+            if self.nack_timeout is not None:
+                engine.enable_reliability(heartbeat_interval=self.nack_timeout)
+            self.nodes[part_root].iface.root_engines[sub_name] = engine
+        self.families[name] = tuple(subgroup_names)
+        self.partition_maps[name] = RootPartitionMap(
+            name, len(root_tuple), seed=partition_seed
+        )
+        return self.groups[name]
 
     def root_engine(self, group: str) -> "GroupRootEngine":  # noqa: F821
         """The root engine for a group (lives at the group's root node)."""
         grp = self.groups[group]
         return self.nodes[grp.root].iface.root_engines[group]
+
+    def family_groups(self, family: str) -> "tuple[SharingGroup, ...]":
+        """All sibling subgroups of a family, in partition order."""
+        return tuple(self.groups[sub] for sub in self.families[family])
+
+    def engines_for(self, family: str) -> "tuple[GroupRootEngine, ...]":  # noqa: F821
+        """All root engines of a family, in partition order."""
+        return tuple(self.root_engine(sub) for sub in self.families[family])
+
+    def partition_map(self, family: str) -> RootPartitionMap:
+        """The deterministic unit->partition assignment of a family."""
+        return self.partition_maps[family]
+
+    def home_group(self, family: str, var: str) -> SharingGroup:
+        """The subgroup whose root currently owns variable/lock ``var``."""
+        pmap = self.partition_maps[family]
+        return self.groups[self.families[family][pmap.partition_of(var)]]
+
+    def root_load_summary(self, family: str) -> "dict[int, dict[str, int]]":
+        """Per-partition locally-sequenced load, by sequencing unit.
+
+        Only counts writes each engine sequenced itself (adopted state
+        from failover/migration is excluded), so the numbers reflect
+        where sequencing work actually happened.
+        """
+        return {
+            group.partition: dict(self.root_engine(group.name).load_by_unit)
+            for group in self.family_groups(family)
+        }
 
     def declare_variable(
         self,
@@ -261,11 +361,19 @@ class DSMMachine:
         mutex_lock: str | None = None,
         size_bytes: int = 8,
     ) -> VarDecl:
-        """Declare an eagerly shared variable on a group."""
-        grp = self.groups[group]
+        """Declare an eagerly shared variable on a group (family).
+
+        In a sharded-root family the variable lands on the subgroup its
+        partition-map unit hashes to; variables with a ``mutex_lock``
+        share that lock's unit, so grants and mutex-data discard
+        decisions always happen on the owning root.
+        """
+        pmap = self.partition_maps[group]
+        pmap.register(name, mutex_lock)
+        grp = self.home_group(group, name)
         decl = VarDecl(
             name=name,
-            group=group,
+            group=grp.name,
             initial=initial,
             size_bytes=size_bytes,
             mutex_lock=mutex_lock,
@@ -283,10 +391,12 @@ class DSMMachine:
         data_bytes: int = 64,
     ) -> LockDecl:
         """Declare a lock on a group; installs the root-side manager."""
-        grp = self.groups[group]
+        pmap = self.partition_maps[group]
+        pmap.register(name)
+        grp = self.home_group(group, name)
         decl = LockDecl(
             name=name,
-            group=group,
+            group=grp.name,
             protects=tuple(protects),
             data_bytes=data_bytes,
         )
@@ -295,7 +405,7 @@ class DSMMachine:
 
         for node_id in grp.members:
             self.nodes[node_id].store.declare(name, FREE_VALUE)
-        self.root_engine(group).add_lock(decl)
+        self.root_engine(grp.name).add_lock(decl)
         return decl
 
     def lock_decl(self, name: str) -> LockDecl:

@@ -480,6 +480,8 @@ def _zero_run_values(trial: CampaignTrial, detail: str) -> dict[str, Any]:
             "fault_dropped",
             "fault_delayed",
             "fault_duplicated",
+            "root_count",
+            "root_load_max",
         ),
         0,
     )
@@ -491,6 +493,7 @@ def _zero_run_values(trial: CampaignTrial, detail: str) -> dict[str, Any]:
         ok=False,
         converged=False,
         recovery_time_mean_s=0.0,
+        root_load_mean=0.0,
         stall=detail,
     )
     return values

@@ -129,6 +129,12 @@ class ChaosConfig:
     lossy_failover: bool = False
     #: Network topology (campaign trials sweep this).
     topology: str = "mesh_torus"
+    #: Root partitions for the workload group (1 = the classic single
+    #: sequencer).  With more, the group becomes a sharded-root family
+    #: and the chaos scenarios run against hash-partitioned ownership;
+    #: the per-root load columns of the run row then carry one entry
+    #: per partition.
+    roots: int = 1
     #: Arm the online InvariantMonitor (mutex, epoch/cursor
     #: monotonicity, sequencer gaps, single-writer token integrity); a
     #: violation halts the run with the oracle name and evidence trail
@@ -174,6 +180,10 @@ class ChaosResult:
     messages: int
     dropped: int
     stall: str | None = None
+    #: Messages sequenced by each root partition of the workload group
+    #: over the whole run (one entry per sibling subgroup, partition
+    #: order).  Single-root groups report a 1-tuple.
+    root_loads: tuple[int, ...] = (0,)
     invariant_errors: list[str] = field(default_factory=list)
     #: Name of the online oracle that halted the run (None = none did).
     oracle: str | None = None
@@ -191,6 +201,7 @@ class ChaosResult:
             self.lock_retries,
             self.messages,
             self.dropped,
+            self.root_loads,
             tuple(sorted(self.fault_summary.items())),
         )
 
@@ -240,6 +251,13 @@ def chaos_csv_row(
             "fault_dropped": summary["fault_dropped"],
             "fault_delayed": summary["fault_delayed"],
             "fault_duplicated": summary["fault_duplicated"],
+            "root_count": len(result.root_loads),
+            "root_load_max": max(result.root_loads, default=0),
+            "root_load_mean": (
+                sum(result.root_loads) / len(result.root_loads)
+                if result.root_loads
+                else 0.0
+            ),
             "stall": result.stall or "",
         },
         prefix=prefix,
@@ -411,9 +429,12 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     )
     unit = machine.nack_timeout
 
+    root_nodes = tuple(
+        (k * config.n_nodes) // config.roots for k in range(config.roots)
+    )
     if config.workload == "counter":
         group, lock, var = counter_wl.GROUP, counter_wl.LOCK, counter_wl.COUNTER
-        machine.create_group(group)
+        machine.create_group(group, roots=root_nodes)
         machine.declare_variable(group, var, 0, mutex_lock=lock)
         machine.declare_lock(group, lock, protects=(var,), data_bytes=8)
     else:
@@ -447,11 +468,15 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
             # The known-bad configuration: the reclaimer believes every
             # holder is dead, so leases expire under live holders.
             is_crashed = lambda node: True  # noqa: E731
-        machine.root_engine(group).configure_lock_recovery(
-            lease_duration=lease,
-            is_crashed=is_crashed,
-            max_extensions=config.lease_max_extensions,
-        )
+        # Every sibling partition's root sequences its own slice of the
+        # group, so each needs the recovery hooks (single-root groups
+        # have exactly one engine here).
+        for engine in machine.engines_for(group):
+            engine.configure_lock_recovery(
+                lease_duration=lease,
+                is_crashed=is_crashed,
+                max_extensions=config.lease_max_extensions,
+            )
     injector.install()
     if config.failover and gwc_family:
         RootFailoverManager(machine, injector).install()
@@ -640,6 +665,9 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         messages=stats.messages,
         dropped=stats.dropped,
         stall=stall,
+        root_loads=tuple(
+            engine.locally_sequenced for engine in machine.engines_for(group)
+        ),
         invariant_errors=invariant_errors,
         oracle=violation.oracle if violation is not None else None,
         oracle_evidence=(

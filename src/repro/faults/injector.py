@@ -276,12 +276,17 @@ class FaultInjector:
         """
         from repro.memory.varspace import grant_value
 
-        group = self.machine.groups.get(group_name)
-        if group is None:
+        if group_name not in self.machine.groups:
             raise FaultError(f"crash(root_of=...): no group {group_name!r}")
-        root = group.root
-        if root not in self.crashed:
-            engine = self.machine.nodes[root].iface.root_engines.get(group_name)
+        # A sharded family spreads its locks over sibling subgroups;
+        # target whichever sibling root actually sequences a held lock
+        # (a family of one degenerates to the classic single root).
+        subgroups = self.machine.families.get(group_name, (group_name,))
+        for sub_name in subgroups:
+            root = self.machine.groups[sub_name].root
+            if root in self.crashed:
+                continue
+            engine = self.machine.nodes[root].iface.root_engines.get(sub_name)
             managers = engine.lock_managers.values() if engine else ()
             for manager in managers:
                 holder = manager.holder

@@ -309,6 +309,90 @@ def _generate_shard_smoke(run: RunWriter) -> None:
     run.write_json("shard_smoke.json", {"records": records})
 
 
+def _generate_sharded_root(run: RunWriter) -> None:
+    """Sharded-root fileset: serial-parity hashes plus handoff counters.
+
+    One pinned (seed, topology, partition) triple per record: the
+    sharded family, with and without relay trees and with an online
+    re-partition mid-run, must converge to the byte-identical
+    serial-baseline state.  The handoff counters (moves, transferred
+    locks, epoch restarts) are deterministic per seed, so drift in the
+    fence or migration order shows up here before any sweep does.
+    """
+    from repro.workloads.rootshard import RootShardConfig, run_rootshard
+
+    def config(
+        roots: int, fanout: int | None, rebalance: bool, partition_seed: int
+    ):
+        return RootShardConfig(
+            n_nodes=16,
+            roots=roots,
+            fanout=fanout,
+            hot_rounds=48,
+            cold_units=4,
+            cold_rounds=8,
+            n_locks=2,
+            n_lockers=6,
+            increments=4,
+            rebalance=rebalance,
+            rebalance_frac=0.35,
+            seed=0,
+            partition_seed=partition_seed,
+            topology="mesh_torus",
+        )
+
+    serial = run_rootshard(config(1, None, False, 0))
+    records: list[dict[str, Any]] = []
+    # The last point's partition seed deliberately lands the hot key on
+    # a crowded root so the mid-run rebalance provably migrates units
+    # (including a lock handoff between two live roots).
+    for roots, fanout, rebalance, partition_seed in (
+        (2, None, False, 0),
+        (4, None, False, 0),
+        (4, 3, False, 0),
+        (4, 3, True, 1),
+    ):
+        sharded = run_rootshard(
+            config(roots, fanout, rebalance, partition_seed)
+        )
+        moves = sharded.extra["migration_moves"]
+        records.append(
+            {
+                "seed": 0,
+                "partition_seed": partition_seed,
+                "topology": "mesh_torus",
+                "n_nodes": 16,
+                "roots": roots,
+                "fanout": fanout,
+                "rebalance": rebalance,
+                "serial_hash": serial.extra["shared_hash"],
+                "sharded_hash": sharded.extra["shared_hash"],
+                "parity": sharded.extra["shared_hash"]
+                == serial.extra["shared_hash"],
+                "correct": sharded.extra["correct"],
+                "load_total": list(sharded.extra["load_total"]),
+                "migration_moves": len(moves) if moves else 0,
+                "locks_transferred": sharded.extra["locks_transferred"],
+                "relayed_applies": sharded.extra["relayed_applies"],
+                "epoch_restarts": sharded.extra["epoch_restarts"],
+            }
+        )
+    if not all(r["parity"] and r["correct"] for r in records):
+        raise ExperimentError(
+            "sharded-root parity violated while generating goldens; "
+            "refusing to snapshot broken root sharding"
+        )
+    if not any(
+        r["rebalance"] and r["migration_moves"] > 0 and r["locks_transferred"]
+        for r in records
+    ):
+        raise ExperimentError(
+            "sharded-root rebalance point migrated nothing; refusing to "
+            "snapshot a vacuous handoff golden"
+        )
+    run.write_json("sharded_root.json", {"records": records})
+
+
 def _generate_shard_backend(run: RunWriter) -> None:
     """Serial-vs-process state-hash parity manifest (fixed seed/topology).
 
@@ -435,6 +519,8 @@ SURFACES: tuple[Surface, ...] = (
             "sharded-kernel parity hashes vs serial"),
     Surface("shard_backend", _generate_shard_backend,
             "serial-vs-process backend state-hash parity manifest"),
+    Surface("sharded_root", _generate_sharded_root,
+            "sharded-root serial-parity hashes + handoff counters"),
     Surface("failover", _generate_failover,
             "crash_root failover matrix (2 systems x 3 seeds)"),
     Surface("campaign", _generate_campaign,

@@ -264,6 +264,54 @@ class GwcLockManager:
         return [FREE_VALUE]
 
     # ------------------------------------------------------------------
+    # Live ownership handoff (online re-partitioning)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> "dict[str, Any]":
+        """Snapshot the manager for a live root-to-root handoff.
+
+        Unlike crash failover (which reconstructs lock state from member
+        evidence), online re-partitioning has the old owner alive: its
+        exact holder/queue/counter state transfers wholesale.  The old
+        manager's lease timer is cancelled — the adopting manager re-arms
+        its own if leases are configured there.
+        """
+        self._cancel_lease()
+        return {
+            "holder": self.holder,
+            "queue": list(self.queue),
+            "grants": self.grants,
+            "releases": self.releases,
+            "max_queue": self.max_queue,
+            "regrants": self.regrants,
+            "cancelled_requests": self.cancelled_requests,
+            "stale_releases": self.stale_releases,
+            "lease_reclaims": self.lease_reclaims,
+            "lease_extensions": self.lease_extensions,
+            "grant_epoch": self._grant_epoch,
+            "on_reclaim": self.on_reclaim,
+        }
+
+    def adopt_state(self, state: "dict[str, Any]") -> None:
+        """Install a snapshot from :meth:`export_state` on this manager."""
+        self.holder = state["holder"]
+        self.queue = list(state["queue"])
+        self.grants = state["grants"]
+        self.releases = state["releases"]
+        self.max_queue = state["max_queue"]
+        self.regrants = state["regrants"]
+        self.cancelled_requests = state["cancelled_requests"]
+        self.stale_releases = state["stale_releases"]
+        self.lease_reclaims = state["lease_reclaims"]
+        self.lease_extensions = state["lease_extensions"]
+        self._grant_epoch = state["grant_epoch"]
+        if state.get("on_reclaim") is not None:
+            self.on_reclaim = state["on_reclaim"]
+        self._lease_extension_run = 0
+        if self.holder is not None and self._lease_duration is not None:
+            self._arm_lease()
+
+    # ------------------------------------------------------------------
     # Lease internals
     # ------------------------------------------------------------------
 

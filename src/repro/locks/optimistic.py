@@ -140,15 +140,16 @@ class OptimisticMutexRunner:
 
         history = self.history(node.id, lock)
 
-        # Root-failover fencing: active only with a failover manager
-        # installed.  A sequencer epoch change voids this request's
-        # speculation — the old root's answer (and any speculative
-        # writes it accepted) died with it, and the new root discards
-        # old-epoch traffic — so an epoch change is handled exactly
-        # like a conflict: roll back and re-run on the regular path.
+        # Epoch fencing: active with a failover manager installed or
+        # online re-partitioning armed.  A sequencer epoch change voids
+        # this request's speculation — the old owner's answer (and any
+        # speculative writes it accepted) is fenced out, and the new
+        # owner discards old-epoch traffic — so an epoch change is
+        # handled exactly like a conflict: roll back and re-run on the
+        # regular path.
         fence_group: str | None = None
         entry_epoch = 0
-        if self.system.machine.failover_manager is not None:
+        if self.system.machine.epoch_fencing:
             fence_group = iface.group_of(lock).name
             entry_epoch = iface._epoch[fence_group]
 

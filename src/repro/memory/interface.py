@@ -128,6 +128,11 @@ class ApplyPacket:
     #: (it already released, but the release died with the old root)
     #: declines it by re-sharing FREE instead of silently holding.
     rebuilt: bool = False
+    #: True on packets the root sent point-to-point to one member (the
+    #: unsubscribe-exclusion path) rather than down the multicast tree.
+    #: Hierarchical-multicast relays must not forward these: every
+    #: member already got its own copy directly.
+    direct: bool = False
 
 
 class NodeInterface:
@@ -161,6 +166,17 @@ class NodeInterface:
         self.burst_flushes = 0
         self.filter = HardwareBlockingFilter(node, enabled=echo_blocking)
         self.groups: dict[str, SharingGroup] = {}
+        #: var/lock name -> owning joined group (see :meth:`group_of`).
+        self._group_cache: dict[str, SharingGroup] = {}
+        #: family name -> partition-ordered sibling subgroups this node
+        #: joined (the cross-root atomics rule iterates these).
+        self._family_groups: dict[str, list[SharingGroup]] = {}
+        #: Apply packets this node forwarded down a hierarchical
+        #: multicast relay tree (diagnostics).
+        self.relayed_applies = 0
+        #: True once any joined group uses a relay tree; keeps the
+        #: dominant direct-fanout apply path free of relay checks.
+        self._relay_mode = False
         #: Root engines for groups rooted at this node (installed by the
         #: machine builder); maps group name -> engine with an
         #: ``on_update(UpdateRequest)`` method.
@@ -210,15 +226,37 @@ class NodeInterface:
         self._reorder.setdefault(group.name, {})
         self._epoch.setdefault(group.name, 0)
         self._burst.setdefault(group.name, [])
+        family = self._family_groups.setdefault(group.family, [])
+        if group.name not in (g.name for g in family):
+            family.append(group)
+            family.sort(key=lambda g: g.partition)
+        if group.fanout is not None:
+            self._relay_mode = True
         for name, value in group.initial_image().items():
             self.store.declare(name, value)
 
     def group_of(self, var: str) -> SharingGroup:
-        """The group declaring variable or lock ``var`` on this node."""
+        """The group declaring variable or lock ``var`` on this node.
+
+        Cached per name: with root-sharded families a node joins one
+        subgroup per partition, and the linear scan would otherwise run
+        on every shared write.  Online re-partitioning moves names
+        between sibling subgroups and invalidates the affected entries
+        (see :meth:`forget_group_of`).
+        """
+        cached = self._group_cache.get(var)
+        if cached is not None:
+            return cached
         for group in self.groups.values():
             if var in group.variables or var in group.locks:
+                self._group_cache[var] = group
                 return group
         raise MemoryError_(f"node {self.node}: no joined group declares {var!r}")
+
+    def forget_group_of(self, names: "tuple[str, ...] | list[str]") -> None:
+        """Drop cached var->group entries (ownership migrated)."""
+        for name in names:
+            self._group_cache.pop(name, None)
 
     # ------------------------------------------------------------------
     # Outbound path
@@ -240,6 +278,7 @@ class NodeInterface:
             self._forward_to_root(group, var, value)
             return
         if group.is_lock(var):
+            self._flush_sibling_bursts(group)
             self._flush_burst(group, tail=(var, value))
             return
         buffer = self._burst[group.name]
@@ -263,6 +302,7 @@ class NodeInterface:
         if self.write_burst == 1:
             self._forward_to_root(group, var, value)
         else:
+            self._flush_sibling_bursts(group)
             self._flush_burst(group, tail=(var, value))
         return old
 
@@ -288,6 +328,24 @@ class NodeInterface:
     def pending_burst_writes(self) -> int:
         """Buffered writes not yet flushed to any root (diagnostics)."""
         return sum(len(buffer) for buffer in self._burst.values())
+
+    def _flush_sibling_bursts(self, group: SharingGroup) -> None:
+        """Cross-root atomics rule for sharded-root families.
+
+        A synchronization-boundary write (lock value or atomic
+        exchange) owned by one partition flushes every *sibling*
+        partition's burst buffer first, in ascending partition order,
+        before its own flush carries the boundary write.  Program order
+        is therefore preserved across roots: every buffered write is on
+        the wire to its owning root before the lock value that
+        publishes the critical section leaves this node.
+        """
+        siblings = self._family_groups.get(group.family)
+        if siblings is None or len(siblings) == 1:
+            return
+        for sibling in siblings:
+            if sibling.name != group.name and self._burst[sibling.name]:
+                self._flush_burst(sibling)
 
     def _flush_burst(
         self, group: SharingGroup, tail: tuple[str, Any] | None = None
@@ -477,6 +535,8 @@ class NodeInterface:
         ``OrderProbe``) may monkey-patch to observe apply order.
         """
         packet = msg.payload
+        if self._relay_mode:
+            self._relay_apply(packet)
         group = packet.group
         expected = self._next_seq.get(group)
         if (
@@ -496,6 +556,8 @@ class NodeInterface:
         # Apply packets dominate GWC traffic (every sequenced write fans
         # out to the whole group), so they are tested first.
         if msg.kind == "gwc.apply":
+            if self._relay_mode:
+                self._relay_apply(msg.payload)
             self._receive(msg.payload)
         elif msg.kind == "gwc.update":
             engine = self.root_engines.get(msg.payload.group)
@@ -538,6 +600,54 @@ class NodeInterface:
                 engine.on_resubscribe(var, member)
         else:
             raise MemoryError_(f"node {self.node}: unknown message kind {msg.kind!r}")
+
+    def _relay_apply(self, packet: ApplyPacket) -> None:
+        """Forward a tree-multicast apply to this node's relay children.
+
+        Only hierarchical-multicast groups (``fanout`` set) relay, and
+        only packets that travelled the tree: NACK retransmissions and
+        point-to-point ``direct`` sends already reached every member
+        straight from the root.  The forward happens at *delivery*,
+        before this node's own ordering checks — a relay that is itself
+        behind still keeps its subtree fed.
+        """
+        if packet.retransmit or packet.direct:
+            return
+        group = self.groups.get(packet.group)
+        if group is None or group.fanout is None or self.node == group.root:
+            return
+        kids = group.tree.children_of(self.node)
+        if not kids:
+            return
+        packet_bytes = self.network.params.packet_bytes
+        if packet.value is SUPPRESSED:
+            size = packet_bytes
+        else:
+            # The declaration may have migrated to a sibling partition
+            # while this apply was in flight (decl dicts are shared by
+            # reference, so this relay's view moved too); size the
+            # forward from whichever sibling holds it now.
+            sized = group
+            if (
+                packet.var not in group.variables
+                and packet.var not in group.locks
+            ):
+                sized = next(
+                    (
+                        sib
+                        for sib in self._family_groups.get(group.family, ())
+                        if packet.var in sib.variables
+                        or packet.var in sib.locks
+                    ),
+                    None,
+                )
+            size = (
+                sized.wire_bytes(packet.var, packet_bytes)
+                if sized is not None
+                else packet_bytes
+            )
+        self.relayed_applies += len(kids)
+        self.network.send_fanout(self.node, kids, "gwc.apply", packet, size)
 
     def _receive(self, packet: ApplyPacket) -> None:
         """Order-check an arriving packet, then process in-sequence ones."""

@@ -1,0 +1,310 @@
+"""Online re-partitioning: epoch-fenced live ownership handoff.
+
+Root sharding assigns every sequencing unit (a lock plus its mutex
+group, or a standalone variable) to one partition of a sharded-root
+family via the deterministic :class:`RootPartitionMap` hash.  When a
+unit runs hot, that static assignment saturates one root while its
+siblings idle.  :func:`migrate_units` moves units between two *live*
+roots behind the same epoch fence root failover uses:
+
+1. the partition map records an override for the moved unit,
+2. the declarations move to the target subgroup (shared by reference,
+   so every member re-routes new writes within the same sim event),
+3. lock managers hand their exact holder/queue state across
+   (:meth:`GwcLockManager.export_state` / ``adopt_state``) — no
+   evidence reconstruction, the old owner is alive,
+4. the target root sequences a refresh of every moved name in its own
+   stream, and
+5. the source root bumps its sequencer epoch (``begin_migration_epoch``)
+   and re-sequences everything it still owns under the new epoch,
+   exactly like a failover takeover: members that adopt the fence jump
+   their cursor to the refresh, in-flight old-epoch updates are
+   window-discarded, and a critical section speculating across the
+   fence rolls back and re-runs (the PR 3 stale-window rule, now
+   between two live roots).
+
+Migration therefore has the same at-most-once delivery semantics for
+plain writes in flight at fence time as failover; workloads that need a
+write to survive the window re-share it (see
+``repro.workloads.rootshard``).  Lock traffic recovers on its own: a
+request eaten by the fence is re-issued by the client's
+:class:`~repro.locks.gwc_lock.LockRetryPolicy`, and a release eaten by
+the fence is re-sent by the fenced release barrier
+(``GwcSystem._confirm_release``) once the holder adopts the new epoch —
+lock managers therefore need recovery mode
+(:meth:`~repro.consistency.gwc.GroupRootEngine.configure_lock_recovery`)
+for duplicate/cancel tolerance.  Requires reliability
+(``machine.nack_timeout``) — the fence depends on heartbeats and NACK
+recovery — and :func:`arm_migration_fencing` must run before any
+critical section that may span a migration starts.
+
+:func:`plan_rebalance` is the LPT (longest-processing-time) greedy
+planner over observed per-unit load; :func:`rebalance_family` glues
+observation, planning, and migration together.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import MemoryError_
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.machine import DSMMachine
+
+
+@dataclass(slots=True)
+class MigrationReport:
+    """What one :func:`migrate_units` call actually did."""
+
+    family: str
+    #: unit -> (source partition, target partition), applied moves only.
+    moves: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: Names whose declarations changed subgroup.
+    moved_names: tuple[str, ...] = ()
+    #: Lock managers handed across live.
+    locks_transferred: int = 0
+    #: Refresh writes sequenced by target roots (moved names).
+    target_refreshes: int = 0
+    #: Refresh writes re-sequenced by fenced source roots.
+    source_refreshes: int = 0
+    #: Source partitions that bumped their epoch.
+    fenced_partitions: tuple[int, ...] = ()
+
+
+def arm_migration_fencing(machine: "DSMMachine") -> None:
+    """Arm the epoch-fenced critical-section paths for migration.
+
+    Must be called before workload sections start: the fenced lock-held
+    and optimistic paths are chosen at section entry, so a section
+    already running unfenced when the first migration fires would miss
+    the epoch change.  Idempotent; a no-op when failover is installed
+    (fencing is already armed).
+    """
+    if machine.nack_timeout is None:
+        raise MemoryError_(
+            "online re-partitioning needs reliability (reliable=True or a "
+            "loss model): the epoch fence depends on heartbeat/NACK recovery"
+        )
+    machine._migration_fencing = True
+
+
+def migrate_units(
+    machine: "DSMMachine",
+    family: str,
+    moves: "dict[str, int]",
+) -> MigrationReport:
+    """Migrate sequencing units between live roots of one family.
+
+    ``moves`` maps unit name -> target partition.  Moves are batched by
+    *source* partition so each source pays one epoch bump and one
+    full-state refresh regardless of how many of its units leave.  The
+    whole handoff happens within the calling sim event: after it
+    returns, every member routes new writes for the moved names to
+    their new owning root.
+    """
+    arm_migration_fencing(machine)
+    pmap = machine.partition_map(family)
+    groups = machine.family_groups(family)
+    report = MigrationReport(family=family)
+
+    # Resolve, validate, and batch by source partition.
+    by_source: dict[int, list[tuple[str, int]]] = {}
+    for unit, target in sorted(moves.items()):
+        if not 0 <= target < pmap.n_partitions:
+            raise MemoryError_(
+                f"family {family!r}: target partition {target} out of range "
+                f"[0, {pmap.n_partitions})"
+            )
+        source = pmap.partition_of_unit(unit)
+        if source == target:
+            continue
+        by_source.setdefault(source, []).append((unit, target))
+    if not by_source:
+        return report
+
+    all_moved_names: list[str] = []
+    fenced: list[int] = []
+    for source in sorted(by_source):
+        src_group = groups[source]
+        src_engine = machine.root_engine(src_group.name)
+        moved_here: list[str] = []
+
+        for unit, target in by_source[source]:
+            tgt_group = groups[target]
+            tgt_engine = machine.root_engine(tgt_group.name)
+            names = sorted(
+                name
+                for name in (*src_group.variables, *src_group.locks)
+                if pmap.unit_of(name) == unit
+            )
+            if not names:
+                raise MemoryError_(
+                    f"family {family!r}: unit {unit!r} owns nothing in "
+                    f"partition {source}"
+                )
+            pmap.set_override(unit, target)
+            report.moves[unit] = (source, target)
+
+            for name in names:
+                moved_here.append(name)
+                if name in src_group.locks:
+                    decl = src_group.locks.pop(name)
+                    new_decl = dataclasses.replace(decl, group=tgt_group.name)
+                    tgt_group.locks[name] = new_decl
+                    # Live handoff: the exact holder/queue state moves;
+                    # nothing is reconstructed from member evidence.
+                    state = src_engine.lock_managers.pop(name).export_state()
+                    manager = tgt_engine.add_lock(new_decl)
+                    manager.adopt_state(state)
+                    report.locks_transferred += 1
+                else:
+                    decl = src_group.variables.pop(name)
+                    tgt_group.variables[name] = dataclasses.replace(
+                        decl, group=tgt_group.name
+                    )
+                tgt_engine._authoritative[name] = src_engine.authoritative_read(
+                    name
+                )
+
+            # Target refresh: the moved names join the target's (un-
+            # bumped) sequence stream with their authoritative values.
+            # Origin is the *source* root, the same echo-filter trick
+            # failover uses: the only node that drops a mutex-data
+            # refresh is the source root itself, whose store already
+            # has the identical value.
+            tgt_engine._train_begin()
+            try:
+                for name in names:
+                    tgt_engine._sequence_and_multicast(
+                        var=name,
+                        value=tgt_engine._authoritative[name],
+                        origin=src_group.root,
+                        is_mutex_data=(
+                            name in tgt_group.variables
+                            and tgt_group.variables[name].is_mutex_data
+                        ),
+                        is_lock=name in tgt_group.locks,
+                    )
+                    report.target_refreshes += 1
+            finally:
+                tgt_engine._train_flush()
+
+        # Source mini-takeover: fence the partition and re-sequence
+        # everything it still owns under the new epoch, so a member
+        # whose cursor jumps to the new epoch_start loses nothing.
+        src_engine.begin_migration_epoch(tuple(moved_here))
+        fenced.append(source)
+        remaining = sorted((*src_group.variables, *src_group.locks))
+        src_engine._train_begin()
+        try:
+            for name in remaining:
+                src_engine._sequence_and_multicast(
+                    var=name,
+                    value=src_engine.authoritative_read(name),
+                    origin=src_group.root,
+                    is_mutex_data=(
+                        name in src_group.variables
+                        and src_group.variables[name].is_mutex_data
+                    ),
+                    is_lock=name in src_group.locks,
+                )
+                report.source_refreshes += 1
+        finally:
+            src_engine._train_flush()
+        # Announce the fence immediately: a member that misses every
+        # refresh packet still adopts the new epoch from the heartbeat
+        # and NACKs its way back in.
+        src_engine.emit_heartbeat()
+        all_moved_names.extend(moved_here)
+
+    # Every member re-routes new writes for the moved names at once
+    # (declarations are shared by reference; only the caches lag).
+    moved_tuple = tuple(all_moved_names)
+    for member in groups[0].members:
+        machine.nodes[member].iface.forget_group_of(moved_tuple)
+    report.moved_names = moved_tuple
+    report.fenced_partitions = tuple(fenced)
+    return report
+
+
+def plan_rebalance(
+    unit_loads: "dict[str, int]",
+    n_partitions: int,
+    pinned: "dict[str, int] | None" = None,
+) -> dict[str, int]:
+    """LPT greedy assignment of units to partitions by observed load.
+
+    Sorts units by (load desc, name) and assigns each to the currently
+    least-loaded partition (ties to the lowest partition id), which
+    guarantees max-partition load <= (4/3 - 1/(3K)) x optimal — far
+    inside the <= 2x-of-mean acceptance bar whenever any balance is
+    achievable.  ``pinned`` entries are placed first at their fixed
+    partition.  Deterministic: same loads -> same plan.
+    """
+    if n_partitions < 1:
+        raise MemoryError_(f"need >= 1 partition, got {n_partitions}")
+    totals = [0] * n_partitions
+    plan: dict[str, int] = {}
+    if pinned:
+        for unit, partition in sorted(pinned.items()):
+            totals[partition] += unit_loads.get(unit, 0)
+            plan[unit] = partition
+    heap = [(total, partition) for partition, total in enumerate(totals)]
+    heapq.heapify(heap)
+    for unit, load in sorted(
+        ((u, l) for u, l in unit_loads.items() if u not in plan),
+        key=lambda item: (-item[1], item[0]),
+    ):
+        total, partition = heapq.heappop(heap)
+        plan[unit] = partition
+        heapq.heappush(heap, (total + load, partition))
+    return plan
+
+
+def family_unit_loads(machine: "DSMMachine", family: str) -> dict[str, int]:
+    """Aggregate locally-sequenced load per unit across a family's roots."""
+    loads: dict[str, int] = {}
+    pmap = machine.partition_map(family)
+    for engine in machine.engines_for(family):
+        for unit, count in engine.load_by_unit.items():
+            # Engine load keys are already unit names (lock writes and
+            # mutex data both charge the lock); normalize anyway in
+            # case a unit was registered after traffic started.
+            unit = pmap.unit_of(unit)
+            loads[unit] = loads.get(unit, 0) + count
+    return loads
+
+
+def rebalance_family(
+    machine: "DSMMachine",
+    family: str,
+    min_gain: float = 0.0,
+) -> MigrationReport:
+    """Observe load, plan with LPT, and migrate what should move.
+
+    ``min_gain`` skips the migration when the planned max-partition
+    load is not at least that fraction below the current max (0.0 =
+    always apply a differing plan).
+    """
+    pmap = machine.partition_map(family)
+    loads = family_unit_loads(machine, family)
+    if not loads:
+        return MigrationReport(family=family)
+    plan = plan_rebalance(loads, pmap.n_partitions)
+    current_totals = [0] * pmap.n_partitions
+    planned_totals = [0] * pmap.n_partitions
+    for unit, load in loads.items():
+        current_totals[pmap.partition_of_unit(unit)] += load
+        planned_totals[plan[unit]] += load
+    if max(planned_totals) >= max(current_totals) * (1.0 - min_gain):
+        return MigrationReport(family=family)
+    moves = {
+        unit: partition
+        for unit, partition in plan.items()
+        if partition != pmap.partition_of_unit(unit)
+    }
+    return migrate_units(machine, family, moves)

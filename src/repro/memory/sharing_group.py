@@ -30,6 +30,9 @@ class SharingGroup:
         network: Network,
         members: tuple[int, ...],
         root: int,
+        fanout: int | None = None,
+        family: str | None = None,
+        partition: int = 0,
     ) -> None:
         if root not in members:
             raise GroupMembershipError(
@@ -40,7 +43,15 @@ class SharingGroup:
         self.name = name
         self.members = tuple(sorted(members))
         self.root = root
-        self.tree = MulticastTree(network, root, self.members)
+        #: Relay fanout for hierarchical multicast (None = direct fanout).
+        self.fanout = fanout
+        #: Base name of the sharded-root family this group belongs to.
+        #: Partition 0 keeps the base name; partition k is ``{family}@r{k}``.
+        #: Single-root groups are their own one-member family.
+        self.family = family if family is not None else name
+        #: This group's partition index within its family.
+        self.partition = partition
+        self.tree = MulticastTree(network, root, self.members, fanout=fanout)
         self.variables: dict[str, VarDecl] = {}
         self.locks: dict[str, LockDecl] = {}
 
@@ -70,7 +81,11 @@ class SharingGroup:
             )
         self.root = new_root
         self.tree = MulticastTree(
-            self.tree.network, new_root, self.members, start_seq=start_seq
+            self.tree.network,
+            new_root,
+            self.members,
+            start_seq=start_seq,
+            fanout=self.fanout,
         )
 
     def declare_variable(self, decl: VarDecl) -> VarDecl:

@@ -15,6 +15,7 @@ Lock value encoding follows Section 2 of the paper:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import LockError, MemoryError_
@@ -98,3 +99,88 @@ class LockDecl:
     def __post_init__(self) -> None:
         if len(set(self.protects)) != len(self.protects):
             raise MemoryError_(f"lock {self.name!r} protects duplicate variables")
+
+
+class RootPartitionMap:
+    """Deterministic assignment of sequencing units to root partitions.
+
+    A *unit* is the indivisible grain of root ownership: a lock together
+    with every variable it protects (so grants and mutex-data discard
+    decisions always happen on the same root), or a standalone variable
+    by itself.  The assignment hashes ``(seed, group, unit)`` — it never
+    looks at the member list, so it is *stable under member churn by
+    construction*: crashing and restarting a non-root member cannot move
+    a single unit.
+
+    ``overrides`` record online re-partitioning decisions (a hot unit
+    migrated to a dedicated root); they are consulted before the hash.
+    """
+
+    def __init__(self, group: str, n_partitions: int, seed: int = 0) -> None:
+        if n_partitions < 1:
+            raise MemoryError_(
+                f"group {group!r}: need >= 1 partition, got {n_partitions}"
+            )
+        self.group = group
+        self.n_partitions = n_partitions
+        self.seed = seed
+        #: unit -> partition overrides from online re-partitioning.
+        self.overrides: dict[str, int] = {}
+        #: name -> unit for every declared name (vars point at their
+        #: protecting lock's unit).
+        self._unit_of: dict[str, str] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"RootPartitionMap({self.group!r}, "
+            f"n_partitions={self.n_partitions}, seed={self.seed}, "
+            f"overrides={len(self.overrides)})"
+        )
+
+    def register(self, name: str, mutex_lock: str | None = None) -> str:
+        """Record ``name``'s unit (its protecting lock, else itself)."""
+        unit = mutex_lock if mutex_lock is not None else name
+        self._unit_of[name] = unit
+        return unit
+
+    def unit_of(self, name: str) -> str:
+        """The sequencing unit that owns ``name``."""
+        return self._unit_of.get(name, name)
+
+    def hash_partition(self, unit: str) -> int:
+        """The seeded-hash home partition of ``unit`` (ignores overrides)."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{self.group}:{unit}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % self.n_partitions
+
+    def partition_of_unit(self, unit: str) -> int:
+        """Current partition of ``unit`` (overrides win over the hash)."""
+        override = self.overrides.get(unit)
+        if override is not None:
+            return override
+        return self.hash_partition(unit)
+
+    def partition_of(self, name: str) -> int:
+        """Current partition owning variable or lock ``name``."""
+        return self.partition_of_unit(self.unit_of(name))
+
+    def set_override(self, unit: str, partition: int) -> None:
+        """Pin ``unit`` to ``partition`` (online re-partitioning)."""
+        if not 0 <= partition < self.n_partitions:
+            raise MemoryError_(
+                f"group {self.group!r}: partition {partition} out of range "
+                f"[0, {self.n_partitions})"
+            )
+        if partition == self.hash_partition(unit):
+            self.overrides.pop(unit, None)
+        else:
+            self.overrides[unit] = partition
+
+    def assignment(self) -> dict[str, int]:
+        """Snapshot of every registered name's current partition."""
+        return {name: self.partition_of(name) for name in self._unit_of}
+
+    def units(self) -> tuple[str, ...]:
+        """All distinct registered units, sorted."""
+        return tuple(sorted(set(self._unit_of.values())))

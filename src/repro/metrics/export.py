@@ -103,6 +103,9 @@ CHAOS_RUN_FIELDS: tuple[str, ...] = (
     "fault_dropped",
     "fault_delayed",
     "fault_duplicated",
+    "root_count",
+    "root_load_max",
+    "root_load_mean",
     "stall",
 )
 

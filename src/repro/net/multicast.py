@@ -12,11 +12,23 @@ from __future__ import annotations
 
 from repro.net.message import Message
 from repro.net.network import Network
-from repro.net.spanning_tree import SpanningTree, build_bfs_tree
+from repro.net.spanning_tree import (
+    SpanningTree,
+    build_bfs_tree,
+    build_relay_tree,
+)
 
 
 class MulticastTree:
-    """Root-sequenced multicast over a sharing group's spanning tree."""
+    """Root-sequenced multicast over a sharing group's spanning tree.
+
+    With ``fanout=None`` (the default) the root fans out directly to
+    every member — the original Sesame model.  With a ``fanout`` the
+    tree is a bounded-degree relay tree: the root sends only to its
+    tree children, and each member forwards sequenced applies on to its
+    own children (hierarchical multicast; see
+    ``NodeInterface._relay_apply``).
+    """
 
     def __init__(
         self,
@@ -24,12 +36,31 @@ class MulticastTree:
         root: int,
         members: tuple[int, ...],
         start_seq: int = 0,
+        fanout: int | None = None,
     ) -> None:
         self.network = network
         self.root = root
-        self.tree: SpanningTree = build_bfs_tree(network.topology, root, members)
-        #: Members minus the root, precomputed for include_root=False
-        #: multicasts so the hot loop has no per-member comparison.
+        self.fanout = fanout
+        if fanout is None:
+            self.tree: SpanningTree = build_bfs_tree(
+                network.topology, root, members
+            )
+            #: Per-multicast direct targets: every member (or every
+            #: member minus the root).
+            self._fanout_targets = self.tree.members
+            self._nonroot_targets = tuple(
+                member for member in self.tree.members if member != root
+            )
+        else:
+            self.tree = build_relay_tree(network.topology, root, members, fanout)
+            # Relay mode: the root only touches its own tree children;
+            # members forward to theirs on delivery.
+            kids = self.tree.children.get(root, ())
+            self._fanout_targets = (root, *kids)
+            self._nonroot_targets = kids
+        #: Members minus the root, for NACK retransmits and heartbeats
+        #: which always go direct (tail-loss recovery must not depend on
+        #: a possibly-crashed relay).
         self._nonroot_members = tuple(
             member for member in self.tree.members if member != root
         )
@@ -37,6 +68,12 @@ class MulticastTree:
         #: tree starts where the reconstruction quorum left off rather
         #: than at zero (see :mod:`repro.faults.failover`).
         self._next_seq = start_seq
+
+    def children_of(self, node: int) -> tuple[int, ...]:
+        """Relay children of ``node`` ( () in direct-fanout mode)."""
+        if self.fanout is None:
+            return ()
+        return self.tree.children.get(node, ())
 
     @property
     def members(self) -> tuple[int, ...]:
@@ -68,7 +105,7 @@ class MulticastTree:
                 as well (it does for data echoes; it already acted on lock
                 state locally).
         """
-        targets = self.tree.members if include_root else self._nonroot_members
+        targets = self._fanout_targets if include_root else self._nonroot_targets
         self.network.send_fanout(self.root, targets, kind, payload, size_bytes)
 
     def multicast_train(
@@ -88,5 +125,5 @@ class MulticastTree:
         ships a sequenced burst of writes without multiplying simulator
         events by the burst length.
         """
-        targets = self.tree.members if include_root else self._nonroot_members
+        targets = self._fanout_targets if include_root else self._nonroot_targets
         self.network.send_fanout_train(self.root, targets, kind, payloads, sizes)

@@ -133,3 +133,56 @@ def build_bfs_tree(
         children={node: tuple(kids) for node, kids in children.items()},
         depth_hops=dist,
     )
+
+
+def build_relay_tree(
+    topology: Topology,
+    root: int,
+    members: "tuple[int, ...] | list[int]",
+    fanout: int,
+) -> SpanningTree:
+    """Build a bounded-degree relay tree for hierarchical multicast.
+
+    Unlike :func:`build_bfs_tree` (where the root fans out directly to
+    every member), no node forwards to more than ``fanout`` children:
+    non-root members are ordered by (metric hops from the root, node id)
+    and fill a ``fanout``-ary tree level by level, so the members
+    nearest the root become the relay sub-roots.  Tree-path distances
+    may exceed the metric shortest path — that is the deliberate
+    trade: bounded per-node send work in exchange for extra hops.
+    """
+    if fanout < 1:
+        raise TopologyError(f"relay fanout must be >= 1, got {fanout}")
+    member_set = set(members)
+    member_set.add(root)
+    ordered = sorted(member_set)
+    for node in ordered:
+        if not 0 <= node < topology.n_nodes:
+            raise TopologyError(f"member {node} not in {topology!r}")
+
+    nonroot = sorted(
+        (node for node in ordered if node != root),
+        key=lambda node: (topology.hops(root, node), node),
+    )
+    parent: dict[int, int] = {root: root}
+    children: dict[int, list[int]] = {node: [] for node in ordered}
+    depth: dict[int, int] = {root: 0}
+    # Assignment order doubles as relay order: the first members
+    # attached (nearest the root) are the first to receive children.
+    slots: list[int] = [root]
+    cursor = 0
+    for node in nonroot:
+        while len(children[slots[cursor]]) >= fanout:
+            cursor += 1
+        relay = slots[cursor]
+        parent[node] = relay
+        children[relay].append(node)
+        depth[node] = depth[relay] + topology.hops(relay, node)
+        slots.append(node)
+
+    return SpanningTree(
+        root=root,
+        parent=parent,
+        children={node: tuple(kids) for node, kids in children.items()},
+        depth_hops=depth,
+    )

@@ -196,3 +196,60 @@ def state_hash(
 def machine_state_hash(machine: "DSMMachine") -> str:
     """Canonical state hash of one (serial) machine after a run."""
     return state_hash([machine])
+
+
+def shared_state_payload(machine: "DSMMachine") -> dict[str, Any]:
+    """The *semantic* shared-memory outcome of a run.
+
+    :func:`state_payload` is the right bar for kernel parity (same
+    machine, different execution backends: every counter and sequencer
+    position must match bit-for-bit).  Root sharding changes the
+    machine itself — sequence numbers split across per-partition
+    streams, message counts and clocks legitimately differ — so its
+    parity bar is semantic instead: after quiescence, every member of
+    every group must hold the same final value for every shared
+    variable, and every lock must have returned to FREE.
+
+    The payload is keyed by *family* (partition siblings collapse), so
+    a serial single-root run and a K-root sharded run of the same
+    workload produce comparable payloads.  Raises if members disagree
+    with their group root's authoritative value — divergence must fail
+    the parity check loudly, not hash two different states.
+    """
+    from repro.memory.varspace import FREE_VALUE
+
+    families: dict[str, dict[str, Any]] = {}
+    for name, group in machine.groups.items():
+        engine = machine.root_engine(name)
+        values = families.setdefault(group.family, {})
+        for var in (*group.variables, *group.locks):
+            authoritative = engine.authoritative_read(var)
+            for member in group.members:
+                local = machine.nodes[member].store.read(var)
+                if var in group.locks:
+                    # A holder's own store legitimately shows its grant
+                    # while everyone else converged on the sequenced
+                    # value; the lock table below captures occupancy.
+                    continue
+                if local != authoritative:
+                    raise SimulationError(
+                        f"shared-state divergence: node {member} has "
+                        f"{var!r}={local!r}, root of {name!r} says "
+                        f"{authoritative!r}"
+                    )
+            values[var] = authoritative
+        for lock_name, manager in engine.lock_managers.items():
+            if manager.holder is None and (
+                engine.authoritative_read(lock_name) != FREE_VALUE
+            ):
+                raise SimulationError(
+                    f"lock {lock_name!r} has no holder but authoritative "
+                    f"value {engine.authoritative_read(lock_name)!r} != FREE"
+                )
+            values[lock_name] = ("lock", manager.holder, tuple(manager.queue))
+    return {"families": families}
+
+
+def shared_state_hash(machine: "DSMMachine") -> str:
+    """SHA-256 hex digest of :func:`shared_state_payload`."""
+    return hash_payload(shared_state_payload(machine))

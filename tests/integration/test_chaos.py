@@ -149,3 +149,54 @@ class TestCompatibilityChecks:
             run_chaos(
                 ChaosConfig(workload="task_queue", scenario="crash_holder")
             )
+
+
+class TestShardedRootChaos:
+    """Chaos scenarios against a root-sharded group.
+
+    With ``roots > 1`` the counter group becomes a sibling family whose
+    single lock unit hash-lands on one partition; recovery, failover,
+    and the armed oracles must all keep working, and the run row's
+    per-root load columns must carry one entry per partition.
+    """
+
+    @pytest.mark.parametrize("scenario", ["crash_holder", "duplicate"])
+    def test_scenarios_survive_sharded_roots(self, scenario):
+        result = run_chaos(
+            ChaosConfig(scenario=scenario, roots=2, oracles=True, seed=3)
+        )
+        assert result.ok, (result.stall, result.invariant_errors)
+        assert len(result.root_loads) == 2
+        # The one lock unit lives on exactly one partition; the other
+        # root sequences nothing for this workload.
+        assert sum(result.root_loads) > 0
+        assert min(result.root_loads) == 0
+
+    def test_crash_root_fails_over_the_owning_sibling(self):
+        """``crash(root_of=...)`` targets whichever sibling root holds
+        real lock state, so failover runs against the sharded family."""
+        result = run_chaos(
+            ChaosConfig(scenario="crash_root", roots=2, oracles=True, seed=5)
+        )
+        assert result.ok, (result.stall, result.invariant_errors)
+        assert result.fault_summary["failovers"] >= 1
+        assert len(result.root_loads) == 2
+
+    def test_csv_row_surfaces_per_root_load(self):
+        from repro.faults.chaos import chaos_csv_row
+
+        result = run_chaos(ChaosConfig(scenario="delay", roots=3, seed=1))
+        assert result.ok
+        row = chaos_csv_row(result)
+        assert row["root_count"] == 3
+        assert row["root_load_max"] == max(result.root_loads)
+        assert row["root_load_max"] >= row["root_load_mean"] > 0
+
+    def test_single_root_row_keeps_classic_shape(self):
+        from repro.faults.chaos import chaos_csv_row
+
+        result = run_chaos(ChaosConfig(scenario="delay", seed=1))
+        assert result.ok
+        row = chaos_csv_row(result)
+        assert row["root_count"] == 1
+        assert row["root_load_max"] == row["root_load_mean"] > 0

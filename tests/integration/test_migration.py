@@ -1,0 +1,180 @@
+"""Epoch-fenced ownership handoff between live roots.
+
+Online re-partitioning migrates a hot unit from one live root to
+another behind an epoch fence — the same stale-window rule the
+optimistic protocol already obeys for failover: any window that was
+in flight when the fence landed is discarded and re-run under the new
+owner, never committed against stale ownership.  These are regression
+tests for that rule (the probe shapes below deterministically catch a
+locker mid-window at fence time), plus an InvariantMonitor-armed run
+that re-partitions a contended lock mid-flight.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.base import make_system
+from repro.consistency.checker import MutualExclusionChecker
+from repro.consistency.oracles import InvariantMonitor
+from repro.core.machine import DSMMachine
+from repro.core.section import Section
+from repro.locks.gwc_lock import LockRetryPolicy
+from repro.memory.repartition import arm_migration_fencing, migrate_units
+from repro.workloads.rootshard import (
+    RootShardConfig,
+    _increment_body,
+    run_rootshard,
+)
+
+
+def _config(roots: int, rebalance: bool, **overrides) -> RootShardConfig:
+    """The probe shape: 8 nodes, rebalance at 35% progress catches the
+    lockers mid-window when the fence lands (deterministic per seed)."""
+    return RootShardConfig(
+        n_nodes=8,
+        roots=roots,
+        hot_rounds=24,
+        cold_units=4,
+        cold_rounds=8,
+        n_locks=2,
+        n_lockers=6,
+        increments=4,
+        rebalance=rebalance,
+        rebalance_frac=overrides.pop("rebalance_frac", 0.35),
+        **overrides,
+    )
+
+
+class TestFencedHandoff:
+    def test_handoff_discards_inflight_window_and_reruns(self):
+        """A migration fence lands while lockers are mid-section: the
+        stale window is discarded, the section re-runs under the new
+        owner, and the final state still matches the serial baseline."""
+        serial = run_rootshard(_config(roots=1, rebalance=False))
+        sharded = run_rootshard(_config(roots=2, rebalance=True))
+        assert sharded.extra["correct"]
+        assert sharded.extra["shared_hash"] == serial.extra["shared_hash"]
+        moves = sharded.extra["migration_moves"]
+        assert moves, "rebalance never migrated a unit"
+        assert all(src != dst for src, dst in moves.values())
+        # The handoff happened between two LIVE roots — a lock unit
+        # changed sequencers with its grant/queue state intact.
+        assert sharded.extra["locks_transferred"] >= 1
+        # The stale-window rule fired: at least one in-flight section
+        # saw its epoch fence, rolled back, and re-ran.
+        assert sharded.extra["epoch_restarts"] >= 1
+
+    def test_optimistic_window_discarded_at_fence(self):
+        """Same handoff under the optimistic system: the root also
+        discards buffered old-epoch mutex writes for migrated names
+        (they re-arrive at the new owner via the section re-run)."""
+        serial = run_rootshard(
+            _config(roots=1, rebalance=False, system="gwc_optimistic")
+        )
+        sharded = run_rootshard(
+            _config(
+                roots=2,
+                rebalance=True,
+                rebalance_frac=0.5,
+                system="gwc_optimistic",
+            )
+        )
+        assert sharded.extra["correct"]
+        assert sharded.extra["shared_hash"] == serial.extra["shared_hash"]
+        assert sharded.extra["epoch_restarts"] >= 1
+        assert sharded.extra["migration_discards"] >= 1
+
+    def test_handoff_is_deterministic(self):
+        """Same seed, same fence, same moves, same state."""
+        a = run_rootshard(_config(roots=2, rebalance=True))
+        b = run_rootshard(_config(roots=2, rebalance=True))
+        assert a.extra["shared_hash"] == b.extra["shared_hash"]
+        assert a.extra["migration_moves"] == b.extra["migration_moves"]
+        assert a.extra["epoch_restarts"] == b.extra["epoch_restarts"]
+
+
+GROUP = "migr_group"
+LOCK = "migr_lock"
+COUNTER = "migr_counter"
+
+
+def _locker(node, system, section, increments, think_time):
+    for _ in range(increments):
+        yield think_time
+        yield from system.run_section(node, section)
+
+
+def _migrating_controller(machine, threshold, moves, done):
+    """Wait for real sequencing progress, then migrate mid-flight."""
+    while sum(e.locally_sequenced for e in machine.engines_for(GROUP)) < threshold:
+        yield machine.nack_timeout
+    done["report"] = migrate_units(machine, GROUP, moves)
+
+
+class TestMonitoredRepartition:
+    def test_invariant_monitor_stays_quiet_across_handoff(self):
+        """Re-partition a contended lock unit while the full oracle set
+        (mutex, epoch/cursor monotonicity, RMW chain) is armed: the
+        handoff must not trip a single invariant and the counter must
+        land exactly on lockers x increments."""
+        machine = DSMMachine(
+            n_nodes=8,
+            topology="mesh_torus",
+            seed=0,
+            reliable=True,
+            checker=MutualExclusionChecker(),
+        )
+        unit = machine.nack_timeout
+        retry = LockRetryPolicy(timeout=40.0 * unit, max_retries=64)
+        system = make_system("gwc", machine, lock_retry=retry)
+        machine.create_group(GROUP, roots=(0, 4))
+        machine.declare_variable(GROUP, COUNTER, 0, mutex_lock=LOCK)
+        machine.declare_lock(GROUP, LOCK, protects=(COUNTER,), data_bytes=8)
+        for engine in machine.engines_for(GROUP):
+            engine.configure_lock_recovery()
+        arm_migration_fencing(machine)
+        monitor = InvariantMonitor(machine, interval=5.0 * unit)
+        monitor.install()
+
+        lockers, increments = 6, 4
+        section = Section(
+            lock=LOCK,
+            body=_increment_body,
+            shared_reads=(COUNTER,),
+            shared_writes=(COUNTER,),
+            label="migr-inc",
+        )
+        for rank in range(lockers):
+            node = machine.nodes[rank]
+            node.locals["_rootshard_var"] = COUNTER
+            node.locals["_rootshard_update_time"] = 1e-6
+            machine.spawn(
+                _locker(node, system, section, increments, 2e-6),
+                name=f"migr-locker{rank}",
+            )
+        pmap = machine.partition_map(GROUP)
+        source = pmap.partition_of(LOCK)
+        target = 1 - source
+        done: dict = {}
+        total = 4 * lockers * increments
+        machine.spawn(
+            _migrating_controller(
+                machine, total // 3, {LOCK: target}, done
+            ),
+            name="migr-controller",
+        )
+
+        machine.run()  # raises InvariantViolationError on any oracle trip
+        monitor.armed = False
+        monitor.check_now()
+
+        assert monitor.sweeps > 0, "monitor never swept"
+        report = done.get("report")
+        assert report is not None, "controller never migrated"
+        assert report.locks_transferred == 1
+        assert report.moves[LOCK] == (source, target)
+        assert pmap.partition_of(LOCK) == target
+        assert pmap.partition_of(COUNTER) == target
+        machine.checker.verify_chain(COUNTER, 0)
+        machine.checker.verify_no_occupancy()
+        for node in machine.nodes:
+            assert node.store.read(COUNTER) == lockers * increments
